@@ -1,0 +1,23 @@
+"""Helper for the figure benchmarks: run a sweep and print its table."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.reporting import format_figure
+
+
+def run_figure_benchmark(benchmark, figure_fn: Callable[..., FigureResult], scale: float) -> FigureResult:
+    """Run one figure sweep under pytest-benchmark and print its table."""
+    result = benchmark.pedantic(lambda: figure_fn(scale=scale), rounds=1, iterations=1)
+    print()
+    print(format_figure(result))
+    # Sanity check rather than a strict reproduction claim: at the small
+    # default scale JIT's advantage is modest (see EXPERIMENTS.md), but it must
+    # never be catastrophically slower than REF.
+    speedups = result.speedups()
+    assert all(s > 0.5 for s in speedups), (
+        f"{result.figure}: JIT unexpectedly slower than REF by >2x at some point"
+    )
+    return result

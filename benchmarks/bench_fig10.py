@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 10: overhead vs. window size w (bushy plan).
+
+Prints the CPU-cost and peak-memory series for JIT and REF over the Table III
+range of the swept parameter, mirroring panels (a) and (b) of the figure.
+"""
+
+from _helpers import run_figure_benchmark
+
+from repro.experiments.figures import figure10
+
+
+def test_figure10(benchmark, bench_scale):
+    """Reproduce Figure 10 (window size w (bushy plan))."""
+    run_figure_benchmark(benchmark, figure10, bench_scale)

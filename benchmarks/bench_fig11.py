@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 11: overhead vs. stream rate λ (bushy plan).
+
+Prints the CPU-cost and peak-memory series for JIT and REF over the Table III
+range of the swept parameter, mirroring panels (a) and (b) of the figure.
+"""
+
+from _helpers import run_figure_benchmark
+
+from repro.experiments.figures import figure11
+
+
+def test_figure11(benchmark, bench_scale):
+    """Reproduce Figure 11 (stream rate λ (bushy plan))."""
+    run_figure_benchmark(benchmark, figure11, bench_scale)

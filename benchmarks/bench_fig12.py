@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 12: overhead vs. number of sources N (bushy plan).
+
+Prints the CPU-cost and peak-memory series for JIT and REF over the Table III
+range of the swept parameter, mirroring panels (a) and (b) of the figure.
+"""
+
+from _helpers import run_figure_benchmark
+
+from repro.experiments.figures import figure12
+
+
+def test_figure12(benchmark, bench_scale):
+    """Reproduce Figure 12 (number of sources N (bushy plan))."""
+    run_figure_benchmark(benchmark, figure12, bench_scale)

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 13: overhead vs. maximum data value dmax (bushy plan).
+
+Prints the CPU-cost and peak-memory series for JIT and REF over the Table III
+range of the swept parameter, mirroring panels (a) and (b) of the figure.
+"""
+
+from _helpers import run_figure_benchmark
+
+from repro.experiments.figures import figure13
+
+
+def test_figure13(benchmark, bench_scale):
+    """Reproduce Figure 13 (maximum data value dmax (bushy plan))."""
+    run_figure_benchmark(benchmark, figure13, bench_scale)

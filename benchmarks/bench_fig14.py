@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 14: overhead vs. window size w (left-deep plan).
+
+Prints the CPU-cost and peak-memory series for JIT and REF over the Table III
+range of the swept parameter, mirroring panels (a) and (b) of the figure.
+"""
+
+from _helpers import run_figure_benchmark
+
+from repro.experiments.figures import figure14
+
+
+def test_figure14(benchmark, bench_scale):
+    """Reproduce Figure 14 (window size w (left-deep plan))."""
+    run_figure_benchmark(benchmark, figure14, bench_scale)

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 15: overhead vs. stream rate λ (left-deep plan).
+
+Prints the CPU-cost and peak-memory series for JIT and REF over the Table III
+range of the swept parameter, mirroring panels (a) and (b) of the figure.
+"""
+
+from _helpers import run_figure_benchmark
+
+from repro.experiments.figures import figure15
+
+
+def test_figure15(benchmark, bench_scale):
+    """Reproduce Figure 15 (stream rate λ (left-deep plan))."""
+    run_figure_benchmark(benchmark, figure15, bench_scale)

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 16: overhead vs. number of sources N (left-deep plan).
+
+Prints the CPU-cost and peak-memory series for JIT and REF over the Table III
+range of the swept parameter, mirroring panels (a) and (b) of the figure.
+"""
+
+from _helpers import run_figure_benchmark
+
+from repro.experiments.figures import figure16
+
+
+def test_figure16(benchmark, bench_scale):
+    """Reproduce Figure 16 (number of sources N (left-deep plan))."""
+    run_figure_benchmark(benchmark, figure16, bench_scale)

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 17: overhead vs. maximum data value dmax (left-deep plan).
+
+Prints the CPU-cost and peak-memory series for JIT and REF over the Table III
+range of the swept parameter, mirroring panels (a) and (b) of the figure.
+"""
+
+from _helpers import run_figure_benchmark
+
+from repro.experiments.figures import figure17
+
+
+def test_figure17(benchmark, bench_scale):
+    """Reproduce Figure 17 (maximum data value dmax (left-deep plan))."""
+    run_figure_benchmark(benchmark, figure17, bench_scale)

@@ -1,0 +1,31 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each ``bench_figNN.py`` regenerates one figure of the paper's evaluation
+section: it sweeps the figure's Table III parameter, runs REF and JIT on the
+same workload, prints the series (CPU cost units and peak memory) in the same
+layout as the paper's plots, and reports the total sweep time through
+pytest-benchmark.
+
+The sweep scale can be adjusted without editing code::
+
+    REPRO_BENCH_SCALE=0.1 pytest benchmarks/ --benchmark-only
+
+Larger scales use longer windows (closer to the paper's setting) and make the
+JIT-vs-REF gap wider, at the cost of longer runs; the default keeps the whole
+benchmark suite in the range of a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import pytest
+
+#: Default window/duration scale for benchmark sweeps (fraction of the
+#: paper's window lengths).
+DEFAULT_SCALE = 0.06
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Scale factor for all figure sweeps (override with REPRO_BENCH_SCALE)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Factory sensor-fusion example (the paper's motivating scenario).
+
+Section I motivates JIT with a wireless-sensor-network event detector: "an
+abnormal combination of readings from close-by humidity, light and
+temperature sensors may trigger the alarm in a factory."  This example
+expresses that query in the CQL dialect of Figure 1a, joins the three sensor
+streams on a shared zone identifier, and compares REF and JIT execution.
+
+Humidity readings carry the zone twice (one column matched against light,
+one against temperature), mirroring the structure of Figure 1's plan where A
+joins both B and C.
+
+Run with::
+
+    python examples/factory_sensors.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    PLAN_LEFT_DEEP,
+    STRATEGY_JIT,
+    STRATEGY_REF,
+    SourceSchema,
+    StreamSource,
+    build_xjoin_plan,
+    parse_cql,
+    run_workload,
+)
+from repro.engine.results import result_multiset
+from repro.streams.sources import PoissonArrivals, merge_sources
+
+#: Number of factory zones; a join partner exists only when readings from the
+#: same zone coincide inside the window, so more zones = higher selectivity.
+ZONES = 40
+WINDOW_SECONDS = 120.0
+DURATION_SECONDS = 600.0
+
+QUERY_TEXT = f"""
+    SELECT * FROM
+      HUMIDITY   [RANGE {int(WINDOW_SECONDS)} seconds],
+      LIGHT      [RANGE {int(WINDOW_SECONDS)} seconds],
+      TEMPERATURE[RANGE {int(WINDOW_SECONDS)} seconds]
+    WHERE HUMIDITY.zone = LIGHT.zone
+      AND HUMIDITY.zone2 = TEMPERATURE.zone
+"""
+
+
+def _sensor_source(name: str, rate: float, seed: int) -> StreamSource:
+    """A sensor stream: a zone id (join key) plus a reading value."""
+    columns = ["zone", "reading"] if name != "HUMIDITY" else ["zone", "zone2", "reading"]
+
+    def values(rng: random.Random, schema: SourceSchema) -> dict:
+        zone = rng.randint(1, ZONES)
+        out = {"zone": zone, "reading": round(rng.uniform(0.0, 100.0), 1)}
+        if schema.has_attribute("zone2"):
+            out["zone2"] = zone
+        return out
+
+    return StreamSource(
+        schema=SourceSchema.of(name, columns),
+        arrivals=PoissonArrivals(rate),
+        value_generator=values,
+        seed=seed,
+    )
+
+
+def main() -> None:
+    query = parse_cql(
+        QUERY_TEXT.replace("HUMIDITY.zone = LIGHT.zone", "HUMIDITY.zone = LIGHT.zone")
+        .replace("TEMPERATURE[", "TEMPERATURE [")
+    )
+    print("Event-detection query:")
+    print(" ", query.describe())
+
+    sources = [
+        _sensor_source("HUMIDITY", rate=0.8, seed=1),
+        _sensor_source("LIGHT", rate=0.8, seed=2),
+        _sensor_source("TEMPERATURE", rate=0.8, seed=3),
+    ]
+    events = merge_sources(sources, DURATION_SECONDS)
+    print(f"Replaying {len(events)} sensor readings over {DURATION_SECONDS:.0f}s "
+          f"across {ZONES} zones...\n")
+
+    reports = {}
+    for strategy in (STRATEGY_REF, STRATEGY_JIT):
+        plan = build_xjoin_plan(query, shape=PLAN_LEFT_DEEP, strategy=strategy)
+        reports[strategy] = run_workload(plan, events, window_length=WINDOW_SECONDS)
+        print(reports[strategy].summary())
+
+    ref, jit = reports[STRATEGY_REF], reports[STRATEGY_JIT]
+    assert result_multiset(ref.results.results) == result_multiset(jit.results.results)
+    print(f"\nDetected the same {ref.result_count} co-located reading combinations.")
+    if jit.cpu_units:
+        print(f"JIT/REF CPU ratio: 1:{ref.cpu_units / jit.cpu_units:.1f} "
+              f"(fewer partial results computed for zones with no pending partners).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Baseline execution strategies the paper compares against.
+
+* :mod:`repro.baselines.ref` -- REF, conventional execution where every
+  producer pushes all of its output (the paper's "reference solution").
+* :mod:`repro.baselines.doe` -- demand-driven operator execution [21], which
+  suspends an operator only when one of its states is empty; the paper shows
+  it is subsumed by JIT (it is JIT restricted to the Ø MNS).
+"""
+
+from repro.baselines.ref import build_ref_plan
+from repro.baselines.doe import build_doe_plan
+
+__all__ = ["build_ref_plan", "build_doe_plan"]

@@ -1,0 +1,41 @@
+"""DOE: demand-driven operator execution (Markowetz et al. [21]).
+
+DOE suspends a join operator whenever (i) one of its states becomes empty or
+(ii) all of its consumers are suspended, and resumes it when the condition
+clears.  Section II of the paper argues DOE is the extreme case of JIT where
+the only detectable MNS is the empty tuple Ø; this module therefore builds a
+JIT plan whose configuration is restricted to Ø detection with cascading
+(propagated) empty suspensions, which reproduces DOE's behaviour exactly
+within the JIT framework.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.config import JITConfig
+from repro.plans.builder import (
+    PLAN_LEFT_DEEP,
+    STRATEGY_JIT,
+    ShapeNode,
+    build_xjoin_plan,
+)
+from repro.plans.plan import ExecutionPlan
+from repro.plans.query import ContinuousQuery
+
+__all__ = ["build_doe_plan"]
+
+
+def build_doe_plan(
+    query: ContinuousQuery,
+    shape: Union[str, ShapeNode] = PLAN_LEFT_DEEP,
+    use_hash_index: bool = False,
+) -> ExecutionPlan:
+    """Build a DOE plan: JIT restricted to Ø-only (empty-state) suspension."""
+    return build_xjoin_plan(
+        query,
+        shape=shape,
+        strategy=STRATEGY_JIT,
+        jit_config=JITConfig.doe(),
+        use_hash_index=use_hash_index,
+    )

@@ -1,0 +1,33 @@
+"""REF: the conventional execution baseline.
+
+REF is the paper's reference solution — the same plan shapes and the same
+purge-probe-insert nested-loop joins, but with no feedback of any kind: every
+operator eagerly produces all results for its consumers.  In this library it
+is simply an X-Join plan built from :class:`BinaryJoinOperator` instances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.plans.builder import PLAN_LEFT_DEEP, STRATEGY_REF, ShapeNode, build_xjoin_plan
+from repro.plans.plan import ExecutionPlan
+from repro.plans.query import ContinuousQuery
+
+__all__ = ["build_ref_plan"]
+
+
+def build_ref_plan(
+    query: ContinuousQuery,
+    shape: Union[str, ShapeNode] = PLAN_LEFT_DEEP,
+    use_hash_index: bool = False,
+) -> ExecutionPlan:
+    """Build the REF (no-feedback) plan for ``query``.
+
+    This is a thin wrapper over :func:`repro.plans.builder.build_xjoin_plan`
+    with ``strategy="ref"``; it exists so experiment code reads the same way
+    the paper does ("REF" vs "JIT" vs "DOE").
+    """
+    return build_xjoin_plan(
+        query, shape=shape, strategy=STRATEGY_REF, use_hash_index=use_hash_index
+    )

@@ -1,0 +1,62 @@
+"""Execution context shared by every component of a running plan.
+
+The context bundles the simulated clock, the cost and memory models and the
+global window so that operators, states, JIT structures and the scheduler can
+all charge the same accounting objects without the engine threading them
+through every call.
+
+It lives at the package top level (rather than inside ``repro.engine``) so
+that the operator layer can import it without creating an import cycle with
+the engine, which itself imports the operator layer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.metrics import CostModel, MemoryModel
+from repro.streams.time import SimulationClock, Window
+
+__all__ = ["ExecutionContext"]
+
+
+@dataclass
+class ExecutionContext:
+    """Shared per-run execution state.
+
+    Parameters
+    ----------
+    window:
+        The global sliding window applied to all sources (Section II of the
+        paper assumes a single global window; per-operator overrides are
+        possible but unused by the evaluation).
+    clock:
+        The simulated application-time clock, advanced by the engine.
+    cost:
+        The cost model all components charge for primitive operations.
+    memory:
+        The memory model tracking modelled bytes in states, blacklists, MNS
+        buffers and queues.
+    rng:
+        A context-owned random generator for components that need randomness
+        (e.g. Bloom-filter hash seeds); seeded for reproducibility.
+    """
+
+    window: Window
+    clock: SimulationClock = field(default_factory=SimulationClock)
+    cost: CostModel = field(default_factory=CostModel)
+    memory: MemoryModel = field(default_factory=MemoryModel)
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    def reset(self) -> None:
+        """Reset clock and metrics (used between experiment runs)."""
+        self.clock.reset()
+        self.cost.reset()
+        self.memory.reset()

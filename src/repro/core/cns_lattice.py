@@ -1,0 +1,173 @@
+"""The candidate non-demanded sub-tuple (CNS) lattice of Section IV-A.
+
+For an input tuple ``t`` of a consumer operator, the candidate non-demanded
+sub-tuples are all combinations of the components of ``t`` that appear in the
+consumer's join predicate (Figure 7 shows the 16-node lattice for the
+four-component input of the paper's 5-way example).  The lattice supports the
+two properties that ``Identify_MNS`` (Figure 8) exploits:
+
+* (i) if a node is an MNS, none of its ancestors can be one (they are not
+  minimal), and
+* (ii) a node above level 1 matches an opposite tuple if and only if all of
+  its children match it.
+
+The lattice object is reusable across inputs of the same shape: the detector
+resets node states, feeds one ``observe`` call per opposite-state tuple with
+the level-1 match outcomes, and finally asks for the surviving minimal nodes.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.metrics import CostKind, CostModel
+
+__all__ = ["LatticeNode", "CNSLattice"]
+
+
+class LatticeNode:
+    """One node of the CNS lattice: a non-empty subset of input components."""
+
+    __slots__ = ("sources", "level", "children", "alive", "matched")
+
+    def __init__(self, sources: FrozenSet[str], children: Sequence["LatticeNode"]) -> None:
+        self.sources = sources
+        self.level = len(sources)
+        self.children: Tuple["LatticeNode", ...] = tuple(children)
+        #: False once the node has matched some opposite tuple ("dead" in the
+        #: paper's terminology) — a dead node can no longer become an MNS.
+        self.alive = True
+        #: Per-opposite-tuple scratch flag.
+        self.matched = False
+
+    def __repr__(self) -> str:
+        status = "alive" if self.alive else "dead"
+        return f"LatticeNode({''.join(sorted(self.sources))}, {status})"
+
+
+class CNSLattice:
+    """The CNS lattice over a fixed set of input components.
+
+    Parameters
+    ----------
+    components:
+        Source names of the input-side components that appear in the
+        consumer's local join conditions.
+    max_level:
+        Highest lattice level to materialize.  The paper's algorithm uses the
+        full lattice; restricting the level implements the "consumer may
+        choose not to detect all MNSs" flexibility and avoids the producer's
+        Type II machinery when set to 1.
+    """
+
+    def __init__(self, components: Sequence[str], max_level: Optional[int] = None) -> None:
+        comps = tuple(sorted(set(components)))
+        if not comps:
+            raise ValueError("a CNS lattice needs at least one component")
+        self.components = comps
+        self.max_level = len(comps) if max_level is None else min(max_level, len(comps))
+        if self.max_level < 1:
+            raise ValueError(f"max_level must be at least 1, got {max_level}")
+        self._nodes_by_level: Dict[int, List[LatticeNode]] = {}
+        self._node_index: Dict[FrozenSet[str], LatticeNode] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for level in range(1, self.max_level + 1):
+            nodes: List[LatticeNode] = []
+            for subset in combinations(self.components, level):
+                key = frozenset(subset)
+                children = [
+                    self._node_index[frozenset(child)]
+                    for child in combinations(subset, level - 1)
+                    if level > 1
+                ]
+                node = LatticeNode(key, children)
+                self._node_index[key] = node
+                nodes.append(node)
+            self._nodes_by_level[level] = nodes
+
+    # -- basic accessors ------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Total number of materialized nodes (excluding Ø)."""
+        return len(self._node_index)
+
+    def node(self, sources: Iterable[str]) -> LatticeNode:
+        """Look up the node covering exactly ``sources``."""
+        key = frozenset(sources)
+        try:
+            return self._node_index[key]
+        except KeyError:
+            raise KeyError(f"no lattice node for components {sorted(key)}") from None
+
+    def level_nodes(self, level: int) -> List[LatticeNode]:
+        """All nodes of a given level (1-based)."""
+        return list(self._nodes_by_level.get(level, []))
+
+    # -- Identify_MNS support ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Mark every node alive, ready to evaluate a new input tuple."""
+        for node in self._node_index.values():
+            node.alive = True
+            node.matched = False
+
+    def observe(
+        self, level1_matches: Mapping[str, bool], cost: Optional[CostModel] = None
+    ) -> None:
+        """Process one opposite-state tuple.
+
+        Parameters
+        ----------
+        level1_matches:
+            For each component source, whether the component matched the
+            opposite tuple (all conditions relating them hold).  This is
+            computed by the caller, which typically shares the predicate
+            evaluations with its join probe (the "combined with a nested loop
+            join" optimization of Section IV-A).
+        cost:
+            Optional cost model charged one lattice-node visit per node.
+        """
+        level1 = self._nodes_by_level.get(1, ())
+        for node in level1:
+            (source,) = tuple(node.sources)
+            node.matched = bool(level1_matches.get(source, False))
+            if cost is not None:
+                cost.charge(CostKind.LATTICE_NODE)
+        for level in range(2, self.max_level + 1):
+            for node in self._nodes_by_level.get(level, ()):
+                node.matched = all(child.matched for child in node.children)
+                if cost is not None:
+                    cost.charge(CostKind.LATTICE_NODE)
+        for node in self._node_index.values():
+            if node.matched:
+                node.alive = False
+
+    def surviving_mns(self, cost: Optional[CostModel] = None) -> List[FrozenSet[str]]:
+        """Return the minimal alive nodes — the MNSs (Lines 11-14 of Figure 8)."""
+        mns: List[FrozenSet[str]] = []
+        status: Dict[FrozenSet[str], str] = {}
+        for node in self._nodes_by_level.get(1, ()):
+            if cost is not None:
+                cost.charge(CostKind.LATTICE_NODE)
+            if node.alive:
+                mns.append(node.sources)
+                status[node.sources] = "mns"
+            else:
+                status[node.sources] = "dead"
+        for level in range(2, self.max_level + 1):
+            for node in self._nodes_by_level.get(level, ()):
+                if cost is not None:
+                    cost.charge(CostKind.LATTICE_NODE)
+                child_status = [status[c.sources] for c in node.children]
+                if any(s in ("mns", "non-minimal") for s in child_status):
+                    status[node.sources] = "non-minimal"
+                elif node.alive:
+                    mns.append(node.sources)
+                    status[node.sources] = "mns"
+                else:
+                    status[node.sources] = "dead"
+        return mns

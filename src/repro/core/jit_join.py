@@ -1,0 +1,749 @@
+"""The JIT-enabled binary window join (Figure 6 of the paper).
+
+:class:`JITJoinOperator` extends the REF join of
+:mod:`repro.operators.join` with both halves of the JIT feedback mechanism:
+
+**As a consumer** (``Process_Input``), for every input tuple ``t`` it
+
+1. probes ``t`` against the MNS buffer of the *opposite* port and, on a hit,
+   sends a resumption feedback to the opposite producer;
+2. probes ``t`` against the opposite operator state, emitting join results,
+   while simultaneously feeding the configured MNS detector (the "combined
+   with a nested loop join" optimization of Section IV-A);
+3. retrieves the postponed partial results from the opposite producer, joins
+   them with ``t`` and appends them to the opposite state;
+4. stores newly detected MNSs in its MNS buffer and sends a suspension
+   feedback to ``t``'s producer.
+
+**As a producer** (``Handle_Feedback``), it reacts to feedback from its
+downstream consumer by propagating it upstream (Section III-C) and then
+performing dynamic production control (Section IV-B): suspension moves
+(similar) super-tuples of the MNS from the state into a blacklist and aborts
+the probe in progress if it concerns such a tuple; resumption generates
+exactly the partial results that were skipped, using per-tuple watermarks,
+and hands them back to the consumer.
+
+Implementation notes (all recorded in DESIGN.md):
+
+* ``t`` is inserted into its own state *before* the probe.  Probe results do
+  not depend on the own-side state, so REF results are unchanged, but it
+  makes the watermark bookkeeping exact when a suspension arrives
+  re-entrantly while the probe is still running.
+* A suspended tuple records the opposite-state sequence number up to which it
+  has already been joined (its *watermark*) instead of the paper's
+  "suspension time"; resumption joins it with strictly newer entries only.
+* Operator states delay purging while suspended work elsewhere still needs
+  their contents (purge floors), and blacklists/MNS buffers are retained for
+  a plan-depth-aware horizon under the EXACT retention policy.
+* MNS detection for ``t`` is finalized only after resumed partial results
+  have been appended, so they count as join partners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.blacklist import Blacklist, SuspendedTuple
+from repro.core.config import JITConfig, RetentionPolicy
+from repro.core.feedback import Feedback, FeedbackKind
+from repro.core.mns_buffer import MNSBuffer
+from repro.core.mns_detection import MNSDetector, build_detector
+from repro.core.production_control import (
+    SIDE_BOTH,
+    SIDE_EMPTY,
+    SIDE_LEFT,
+    classify_signature,
+    split_signature,
+)
+from repro.core.signature import MNSSignature
+from repro.metrics import CostKind
+from repro.operators.base import PORT_LEFT, PORT_RIGHT, Operator
+from repro.operators.join import BinaryJoinOperator, opposite_port
+from repro.operators.predicates import JoinCondition, JoinPredicate
+from repro.operators.state import StateEntry
+from repro.streams.tuples import StreamTuple
+
+__all__ = ["JITJoinOperator"]
+
+
+@dataclass
+class _ActiveProbe:
+    """Bookkeeping for the probe currently in progress (producer-side abort)."""
+
+    tuple: StreamTuple
+    port: str
+    own_seq: int
+    #: Sequence numbers (in the probed, opposite state) of the entries this
+    #: probe has already scanned.  Needed because re-inserted resumed tuples
+    #: make the scan order non-monotone in sequence numbers.
+    scanned_seqs: set = None  # type: ignore[assignment]
+    aborted: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scanned_seqs is None:
+            self.scanned_seqs = set()
+
+
+class JITJoinOperator(BinaryJoinOperator):
+    """Binary sliding-window join with the full JIT feedback mechanism.
+
+    Parameters
+    ----------
+    name, left_sources, right_sources, predicate, use_hash_index:
+        As in :class:`~repro.operators.join.BinaryJoinOperator`.
+    config:
+        JIT behaviour knobs; defaults to :meth:`JITConfig.paper_default`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        left_sources: Iterable[str],
+        right_sources: Iterable[str],
+        predicate: JoinPredicate,
+        config: Optional[JITConfig] = None,
+        use_hash_index: bool = False,
+    ) -> None:
+        super().__init__(name, left_sources, right_sources, predicate, use_hash_index)
+        self.config = config or JITConfig.paper_default()
+        #: Number of join operators on the path from this operator to the plan
+        #: root, inclusive.  Set by the plan builder; used by the EXACT
+        #: retention policy.
+        self.depth_to_root = 1
+        self.mns_buffers: Dict[str, MNSBuffer] = {}
+        self.blacklists: Dict[str, Blacklist] = {}
+        self.detectors: Dict[str, Optional[MNSDetector]] = {}
+        self._conditions_by_source: Dict[str, Dict[str, Tuple[JoinCondition, ...]]] = {}
+        self._active_probe: Optional[_ActiveProbe] = None
+        self._pending_resume: Dict[Tuple[MNSSignature, ...], List[StreamTuple]] = {}
+        self._last_jit_purge = float("-inf")
+        #: Statistics exposed to the experiment harness and tests.
+        self.stats: Dict[str, int] = {
+            "mns_detected": 0,
+            "suspensions_sent": 0,
+            "resumptions_sent": 0,
+            "suspensions_received": 0,
+            "resumptions_received": 0,
+            "tuples_diverted": 0,
+            "tuples_blacklisted": 0,
+            "results_resumed": 0,
+            "probes_aborted": 0,
+            "suspensions_declined": 0,
+        }
+
+    # ------------------------------------------------------------------ wiring
+
+    def on_attach(self) -> None:
+        super().on_attach()
+        context = self.require_context()
+        for port in self.ports:
+            side_sources = self.input_sources(port)
+            conds_by_source: Dict[str, Tuple[JoinCondition, ...]] = {}
+            attr_pairs: Dict[str, Tuple[Tuple[str, str], ...]] = {}
+            for source in sorted(side_sources):
+                conds = tuple(
+                    c for c in self.local_conditions if source in (c.left.source, c.right.source)
+                )
+                if not conds:
+                    continue
+                conds_by_source[source] = conds
+                attr_pairs[source] = tuple(
+                    (source, (c.left if c.left.source == source else c.right).attribute)
+                    for c in conds
+                )
+            self._conditions_by_source[port] = conds_by_source
+            self.mns_buffers[port] = MNSBuffer(
+                name=f"{self.name}.{port}.mns",
+                context=context,
+                side_sources=side_sources,
+                conditions=self.local_conditions,
+            )
+            self.blacklists[port] = Blacklist(f"{self.name}.{port}.blacklist", context)
+            self.detectors[port] = build_detector(
+                self.config,
+                components=tuple(conds_by_source),
+                attr_pairs_by_source=attr_pairs,
+                conditions_by_source=conds_by_source,
+                context=context,
+            )
+
+    def supports_production_control(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------ retention
+
+    @property
+    def retention_seconds(self) -> float:
+        """How long suspended tuples remain able to produce results."""
+        window = self.require_context().window.length
+        if self.config.retention_policy == RetentionPolicy.WINDOW:
+            return window
+        return window * max(1, self.depth_to_root)
+
+    def suspension_alive(self, signature: MNSSignature, now: float) -> bool:
+        """True while a suspension for ``signature`` can still produce results.
+
+        Consumers use this (through their MNS-buffer purge) to decide whether
+        an MNS entry must be kept; the check recurses upstream when the
+        suspension was propagated.
+        """
+        retention = self.retention_seconds
+        for port in self.ports:
+            entry = self.blacklists[port].entry(signature)
+            if entry is None:
+                continue
+            if entry.permanent:
+                return False
+            latest = entry.max_ts()
+            if latest is not None and latest + retention > now:
+                return True
+            if entry.propagated_upstream:
+                upstream = self.producer_of(port)
+                if upstream is not None and upstream.suspension_alive(signature, now):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------ consumer side
+
+    def process(self, tup: StreamTuple, port: str) -> None:
+        """``Process_Input`` (Figure 6) for one input tuple."""
+        self._check_port(port)
+        context = self.require_context()
+        now = context.now
+        opp = opposite_port(port)
+
+        self._maybe_purge_jit_structures(now)
+        self._update_purge_floors()
+        self.purge(now)
+
+        # Producer-side diversion: a new arrival similar to a suspended MNS is
+        # parked (or dropped, for permanent suspensions) without any probing.
+        if self.config.divert_similar_arrivals and len(self.blacklists[port]):
+            entry = self.blacklists[port].match_arrival(tup)
+            if entry is not None:
+                self.stats["tuples_diverted"] += 1
+                if not entry.permanent:
+                    self.blacklists[port].add_suspended(
+                        entry.signature, tup, joined_upto_seq=-1, now=now
+                    )
+                return
+
+        # Lines 4-9: probe the opposite MNS buffer and send resumption feedback.
+        resume_feedback: Optional[Feedback] = None
+        opposite_producer = self.producer_of(opp)
+        if len(self.mns_buffers[opp]) and opposite_producer is not None:
+            matched = self.mns_buffers[opp].match(tup)
+            if matched and opposite_producer.supports_production_control():
+                signatures = []
+                for entry in matched:
+                    self.mns_buffers[opp].remove(entry.signature)
+                    signatures.append(entry.signature)
+                resume_feedback = Feedback.resume(tuple(signatures))
+                context.cost.charge(CostKind.FEEDBACK_MESSAGE)
+                self.stats["resumptions_sent"] += 1
+                opposite_producer.handle_feedback(resume_feedback, self)
+
+        # Line 13 (hoisted): insert t into its own state.  Doing this before
+        # the probe does not change which results are produced but makes the
+        # watermarks of re-entrant suspensions exact.
+        own_entry = self.insert_into_state(tup, port, now)
+        opp_detector = self.detectors[opp]
+        if opp_detector is not None:
+            opp_detector.note_opposite_insert(tup)
+
+        # Line 10 (+ Identify_MNS interleaved): probe the opposite state.
+        detector = self.detectors[port]
+        own_producer = self.producer_of(port)
+        should_detect = detector is not None and (
+            (own_producer is not None and own_producer.supports_production_control())
+            or self.config.detect_for_source_fed_ports
+        )
+        probe = _ActiveProbe(tuple=tup, port=port, own_seq=own_entry.seq)
+        self._active_probe = probe
+        live_scanned = self._probe_opposite(
+            tup, port, now, detector if should_detect else None, probe
+        )
+        self._active_probe = None
+
+        # Lines 14-17: retrieve and integrate the resumed partial results.
+        if resume_feedback is not None and opposite_producer is not None:
+            resumed = opposite_producer.produce_suspended(resume_feedback)
+            self._integrate_resumed(
+                tup, port, now, resumed, own_entry, detector if should_detect else None
+            )
+
+        # Lines 11-12: report newly detected MNSs and send suspension feedback.
+        # Detection is finished only now so that resumed partial results count
+        # as join partners (see DESIGN.md on detection ordering), and it is
+        # skipped when t itself was suspended mid-probe.
+        if should_detect and not probe.aborted and own_producer is not None:
+            self._finish_detection(tup, port, now, detector, live_scanned, own_producer)
+
+    def _probe_opposite(
+        self,
+        tup: StreamTuple,
+        port: str,
+        now: float,
+        detector: Optional[MNSDetector],
+        probe: _ActiveProbe,
+    ) -> int:
+        """Nested-loop probe of the opposite state, feeding the MNS detector.
+
+        Returns the number of live opposite tuples scanned (0 means the
+        opposite state was effectively empty — the Ø case).
+        """
+        context = self.require_context()
+        window = context.window
+        opp = opposite_port(port)
+        opposite_state = self.states[opp]
+        conds_by_source = self._conditions_by_source[port]
+        components = tuple(conds_by_source)
+        live_after = window.purge_horizon(now)
+        floor_active = opposite_state.purge_floor is not None
+        if detector is not None:
+            detector.start(tup)
+        scanned = 0
+        for entry in opposite_state.probe():
+            if entry.removed:
+                continue
+            if floor_active and entry.ts < live_after:
+                continue
+            probe.scanned_seqs.add(entry.seq)
+            scanned += 1
+            if detector is None:
+                # REF-style short-circuit evaluation.
+                if window.joinable(tup.ts, entry.ts) and self.evaluate_conditions(
+                    tup, entry.tuple
+                ):
+                    self.emit(self.build_result(tup, entry.tuple))
+                    if probe.aborted:
+                        self.stats["probes_aborted"] += 1
+                        break
+                continue
+            # Detection-integrated evaluation: per-component match outcomes.
+            level1: Dict[str, bool] = {}
+            all_match = window.joinable(tup.ts, entry.ts)
+            for source in components:
+                matched = True
+                for cond in conds_by_source[source]:
+                    context.cost.charge(CostKind.PREDICATE_EVAL)
+                    if not cond.evaluate(tup, entry.tuple):
+                        matched = False
+                        break
+                level1[source] = matched
+                if not matched:
+                    all_match = False
+            detector.observe(tup, level1)
+            if all_match:
+                self.emit(self.build_result(tup, entry.tuple))
+                if probe.aborted:
+                    self.stats["probes_aborted"] += 1
+                    break
+        return scanned
+
+    def _integrate_resumed(
+        self,
+        tup: StreamTuple,
+        port: str,
+        now: float,
+        resumed: Sequence[StreamTuple],
+        own_entry: StateEntry,
+        detector: Optional[MNSDetector],
+    ) -> None:
+        """Join ``tup`` with resumed partial results and append them to the state.
+
+        Each partial is inserted into the opposite state *before* the result
+        is emitted, so any suspension triggered by that emission computes a
+        watermark that already covers the partial.
+        """
+        context = self.require_context()
+        window = context.window
+        opp = opposite_port(port)
+        opposite_state = self.states[opp]
+        conds_by_source = self._conditions_by_source[port]
+        components = tuple(conds_by_source)
+        port_detector = self.detectors[port]
+        for partial in resumed:
+            level1: Dict[str, bool] = {}
+            all_match = window.joinable(tup.ts, partial.ts)
+            for source in components:
+                matched = True
+                for cond in conds_by_source[source]:
+                    context.cost.charge(CostKind.PREDICATE_EVAL)
+                    if not cond.evaluate(tup, partial):
+                        matched = False
+                        break
+                level1[source] = matched
+                if not matched:
+                    all_match = False
+            if detector is not None:
+                detector.observe(tup, level1)
+            partial_entry = opposite_state.insert(partial, now)
+            if port_detector is not None:
+                port_detector.note_opposite_insert(partial)
+            if all_match and not own_entry.removed and not partial_entry.removed:
+                self.emit(self.build_result(tup, partial))
+                self.stats["results_resumed"] += 1
+
+    def _finish_detection(
+        self,
+        tup: StreamTuple,
+        port: str,
+        now: float,
+        detector: Optional[MNSDetector],
+        live_scanned: int,
+        own_producer: Operator,
+    ) -> None:
+        """Collect detected MNSs, buffer them and send suspension feedback."""
+        context = self.require_context()
+        opp = opposite_port(port)
+        signatures: List[MNSSignature]
+        if live_scanned == 0 and self.states[opp].is_empty:
+            # Figure 8, line 2: the opposite state is empty, Ø is the only MNS.
+            signatures = [MNSSignature.empty(ts=tup.ts)]
+        elif detector is not None:
+            signatures = detector.finish(tup)
+        else:
+            signatures = []
+        if not signatures:
+            return
+        new_signatures: List[MNSSignature] = []
+        buffer = self.mns_buffers[port]
+        opposite_buffer = self.mns_buffers[opp]
+        for signature in signatures:
+            if signature in buffer:
+                continue
+            self.stats["mns_detected"] += 1
+            # Cycle prevention: never suspend an MNS whose missing partner may
+            # itself be hidden behind a suspension on the opposite input (or
+            # that could hide the partner of such a suspension).  See
+            # MNSBuffer.blocks_suspension and DESIGN.md.
+            if len(opposite_buffer):
+                items_map = {(s, a): v for s, a, v in signature.items}
+                partner_map = buffer.partner_map(signature)
+                if opposite_buffer.blocks_suspension(items_map, partner_map):
+                    self.stats["suspensions_declined"] += 1
+                    continue
+            buffer.add(signature, now)
+            new_signatures.append(signature)
+        if not new_signatures:
+            return
+        context.cost.charge(CostKind.FEEDBACK_MESSAGE)
+        self.stats["suspensions_sent"] += 1
+        own_producer.handle_feedback(Feedback.suspend(tuple(new_signatures)), self)
+
+    # ------------------------------------------------------------------ producer side
+
+    def handle_feedback(self, feedback: Feedback, from_consumer: Operator) -> None:
+        """``Handle_Feedback`` (Figure 6): propagate, then adjust production."""
+        now = self.require_context().now
+        for single in feedback.split():
+            signature = single.single()
+            if single.kind == FeedbackKind.SUSPEND:
+                self.stats["suspensions_received"] += 1
+                self._suspend_production(signature, now, permanent=single.permanent)
+            elif single.kind == FeedbackKind.RESUME:
+                self.stats["resumptions_received"] += 1
+                results = self._resume_production(signature, now)
+                self._pending_resume.setdefault(feedback.signatures, []).extend(results)
+            elif single.kind in (FeedbackKind.MARK, FeedbackKind.UNMARK):
+                # Type II mark/unmark handling is optional (Section IV-B); the
+                # default configuration does not emit these messages and a
+                # producer is always allowed to ignore them.
+                continue
+
+    def produce_suspended(self, feedback: Feedback) -> List[StreamTuple]:
+        """Return the partial results prepared for ``feedback`` by the last resume."""
+        return self._pending_resume.pop(feedback.signatures, [])
+
+    # -- suspension ---------------------------------------------------------------
+
+    def _suspend_production(
+        self, signature: MNSSignature, now: float, permanent: bool = False
+    ) -> None:
+        side = classify_signature(signature, self.left_sources, self.right_sources)
+        if side == SIDE_EMPTY:
+            self._suspend_all(signature, now)
+            return
+        if side == SIDE_BOTH:
+            # Type II MNS: only acted upon when enabled.  Declining to act is
+            # always legal and is the default (Section IV-B's flexibility).
+            if not self.config.handle_type2:
+                return
+            left_part, right_part = split_signature(
+                signature, self.left_sources, self.right_sources
+            )
+            for part, part_port in ((left_part, PORT_LEFT), (right_part, PORT_RIGHT)):
+                if part is not None:
+                    self._propagate(Feedback.mark((part,)), part_port)
+            return
+        port = PORT_LEFT if side == SIDE_LEFT else PORT_RIGHT
+        blacklist = self.blacklists[port]
+        entry = blacklist.ensure_entry(signature, now, permanent=permanent)
+
+        # Propagate before handling (Section III-C rule (i)).
+        if self.config.propagate_feedback and not permanent:
+            upstream = self.producer_of(port)
+            if upstream is not None and upstream.supports_production_control():
+                self._propagate(Feedback.suspend((signature,)), port)
+                entry.propagated_upstream = True
+
+        # Move (similar) super-tuples of the MNS from the state to the blacklist.
+        state = self.states[port]
+        opposite_state = self.states[opposite_port(port)]
+        default_watermark = opposite_state.next_seq - 1
+        probe = self._active_probe
+        extracted = state.extract(signature.matches_super)
+        detector = self.detectors[opposite_port(port)]
+        opposite_blacklist = self.blacklists[opposite_port(port)]
+        for removed in extracted:
+            self.stats["tuples_blacklisted"] += 1
+            if detector is not None:
+                detector.note_opposite_remove(removed.tuple)
+            watermark = default_watermark
+            met_seqs: frozenset = frozenset()
+            if probe is not None and not probe.aborted:
+                if probe.port == port and removed.tuple is probe.tuple:
+                    # The tuple being probed right now: it has only met the
+                    # opposite entries the probe already scanned.
+                    watermark = -1
+                    met_seqs = frozenset(probe.scanned_seqs)
+                    probe.aborted = True
+                elif probe.port == opposite_port(port):
+                    # An opposite-side entry extracted while a probe scans its
+                    # state: it has met the in-flight tuple only if the probe
+                    # already scanned it.
+                    if removed.seq in probe.scanned_seqs:
+                        watermark = probe.own_seq
+                    else:
+                        watermark = probe.own_seq - 1
+            # Opposite tuples currently suspended were absent from the state,
+            # so the covering watermark must not claim they were met.
+            unmet_seqs: frozenset = frozenset()
+            if watermark >= 0 and len(opposite_blacklist):
+                unmet_seqs = opposite_blacklist.unmet_exceptions_for(removed.seq)
+            blacklist.add_suspended(
+                signature,
+                removed.tuple,
+                joined_upto_seq=watermark,
+                now=now,
+                permanent=permanent,
+                original_seq=removed.seq,
+                met_seqs=met_seqs,
+                unmet_seqs=unmet_seqs,
+            )
+
+    def _suspend_all(self, signature: MNSSignature, now: float) -> None:
+        """Ø suspension: park every new input until resumption (DOE behaviour)."""
+        for port in self.ports:
+            self.blacklists[port].ensure_entry(signature, now)
+        if self.config.propagate_feedback and self.config.propagate_empty_suspension:
+            for port in self.ports:
+                upstream = self.producer_of(port)
+                if upstream is not None and upstream.supports_production_control():
+                    self._propagate(Feedback.suspend((signature,)), port)
+                    entry = self.blacklists[port].entry(signature)
+                    if entry is not None:
+                        entry.propagated_upstream = True
+
+    def _propagate(self, feedback: Feedback, port: str) -> None:
+        upstream = self.producer_of(port)
+        if upstream is None or not upstream.supports_production_control():
+            return
+        self.require_context().cost.charge(CostKind.FEEDBACK_MESSAGE)
+        upstream.handle_feedback(feedback, self)
+
+    # -- resumption ----------------------------------------------------------------
+
+    def _resume_production(self, signature: MNSSignature, now: float) -> List[StreamTuple]:
+        side = classify_signature(signature, self.left_sources, self.right_sources)
+        if side == SIDE_EMPTY:
+            return self._resume_all(signature, now)
+        if side == SIDE_BOTH:
+            return []
+        port = PORT_LEFT if side == SIDE_LEFT else PORT_RIGHT
+        return self._resume_port(signature, port, now)
+
+    def _resume_port(self, signature: MNSSignature, port: str, now: float) -> List[StreamTuple]:
+        """Produce the super-tuples of ``signature`` that were suppressed on ``port``."""
+        blacklist = self.blacklists[port]
+        entry = blacklist.pop_entry(signature)
+        results: List[StreamTuple] = []
+
+        # Rule (i) of Section III-C: propagate before handling.  Upstream
+        # returns the partial results it had suppressed; they are new inputs
+        # for this operator's ``port`` side.
+        upstream_new: List[StreamTuple] = []
+        if entry is not None and entry.propagated_upstream:
+            upstream = self.producer_of(port)
+            if upstream is not None and upstream.supports_production_control():
+                resume = Feedback.resume((signature,))
+                self.require_context().cost.charge(CostKind.FEEDBACK_MESSAGE)
+                upstream.handle_feedback(resume, self)
+                upstream_new = upstream.produce_suspended(resume)
+
+        if entry is not None:
+            for suspended in entry.suspended:
+                results.extend(
+                    self._join_resumed(
+                        suspended.tuple,
+                        port,
+                        suspended.joined_upto_seq,
+                        now,
+                        met_seqs=suspended.met_seqs,
+                        unmet_seqs=suspended.unmet_seqs,
+                        original_seq=suspended.original_seq,
+                    )
+                )
+        for partial in upstream_new:
+            results.extend(self._join_resumed(partial, port, -1, now))
+        return results
+
+    def _resume_all(self, signature: MNSSignature, now: float) -> List[StreamTuple]:
+        """Resume a Ø suspension by replaying the buffered inputs in order."""
+        results: List[StreamTuple] = []
+        for port in (PORT_LEFT, PORT_RIGHT):
+            blacklist = self.blacklists[port]
+            entry = blacklist.pop_entry(signature)
+            upstream_new: List[StreamTuple] = []
+            if entry is not None and entry.propagated_upstream:
+                upstream = self.producer_of(port)
+                if upstream is not None and upstream.supports_production_control():
+                    resume = Feedback.resume((signature,))
+                    self.require_context().cost.charge(CostKind.FEEDBACK_MESSAGE)
+                    upstream.handle_feedback(resume, self)
+                    upstream_new = upstream.produce_suspended(resume)
+            backlog: List[Tuple[float, object]] = []
+            if entry is not None:
+                backlog.extend((s.ts, s) for s in entry.suspended)
+            backlog.extend((t.ts, t) for t in upstream_new)
+            backlog.sort(key=lambda item: item[0])
+            for _ts, item in backlog:
+                if isinstance(item, SuspendedTuple):
+                    results.extend(
+                        self._join_resumed(
+                            item.tuple,
+                            port,
+                            item.joined_upto_seq,
+                            now,
+                            met_seqs=item.met_seqs,
+                            unmet_seqs=item.unmet_seqs,
+                            original_seq=item.original_seq,
+                        )
+                    )
+                else:
+                    results.extend(self._join_resumed(item, port, -1, now))
+        return results
+
+    def _join_resumed(
+        self,
+        tup: StreamTuple,
+        port: str,
+        watermark: int,
+        now: float,
+        met_seqs: frozenset = frozenset(),
+        unmet_seqs: frozenset = frozenset(),
+        original_seq: Optional[int] = None,
+    ) -> List[StreamTuple]:
+        """Join a resumed tuple with the opposite-state partners it has not met.
+
+        The tuple is re-inserted into its own state afterwards — under its
+        original sequence number when it had one — so later arrivals and
+        later resumptions on the other side treat it consistently.
+        """
+        context = self.require_context()
+        window = context.window
+        opp = opposite_port(port)
+        opposite_state = self.states[opp]
+        produced: List[StreamTuple] = []
+        for entry in opposite_state.probe():
+            if entry.removed or entry.seq in met_seqs:
+                continue
+            if entry.seq <= watermark and entry.seq not in unmet_seqs:
+                continue
+            if not window.joinable(tup.ts, entry.ts):
+                continue
+            if self.evaluate_conditions(tup, entry.tuple):
+                produced.append(self.build_result(tup, entry.tuple))
+        self.states[port].insert(tup, now, seq=original_seq)
+        detector = self.detectors[opp]
+        if detector is not None:
+            detector.note_opposite_insert(tup)
+        return produced
+
+    # ------------------------------------------------------------------ maintenance
+
+    def purge(self, now: float) -> None:
+        """Purge both states, keeping the detectors' Bloom filters in sync."""
+        horizon = self.require_context().window.purge_horizon(now)
+        for port in self.ports:
+            removed = self.states[port].purge(horizon)
+            if not removed:
+                continue
+            detector = self.detectors[opposite_port(port)]
+            if detector is not None:
+                for entry in removed:
+                    detector.note_opposite_remove(entry.tuple)
+
+    def _update_purge_floors(self) -> None:
+        """Recompute the delayed-purge floors from suspended work on each side."""
+        window = self.require_context().window.length
+        for port in self.ports:
+            opp = opposite_port(port)
+            candidates: List[float] = []
+            blacklist_min = self.blacklists[opp].min_live_ts()
+            if blacklist_min is not None:
+                candidates.append(blacklist_min)
+            buffer_min = self.mns_buffers[opp].min_active_ts()
+            if buffer_min is not None:
+                candidates.append(buffer_min)
+            self.states[port].purge_floor = (min(candidates) - window) if candidates else None
+
+    def _maybe_purge_jit_structures(self, now: float) -> None:
+        """Periodically purge blacklists and MNS buffers (cheaply, not per event).
+
+        Dropping an MNS entry is performed as a *cancellation resume*: the
+        producer is asked to resume the signature so that its blacklist entry
+        disappears together with the consumer-side MNS.  Otherwise the
+        producer could keep diverting new similar arrivals for a signature
+        whose resumption trigger no longer exists, silently losing results.
+        Any partial results the cancellation returns are appended to the
+        corresponding state (they need no trigger join: a matching partner
+        would have resumed the signature earlier).
+        """
+        context = self.require_context()
+        interval = context.window.length * self.config.jit_structure_purge_interval
+        if now - self._last_jit_purge < interval:
+            return
+        self._last_jit_purge = now
+        retention = self.retention_seconds
+        for port in self.ports:
+            self.blacklists[port].purge(now, retention)
+            producer = self.producer_of(port)
+            if producer is None:
+                continue
+            dead = self.mns_buffers[port].purge(
+                lambda sig, _p=producer: _p.suspension_alive(sig, now)
+            )
+            for entry in dead:
+                if not producer.supports_production_control():
+                    continue
+                cancel = Feedback.resume((entry.signature,))
+                context.cost.charge(CostKind.FEEDBACK_MESSAGE)
+                producer.handle_feedback(cancel, self)
+                for partial in producer.produce_suspended(cancel):
+                    self.states[port].insert(partial, now)
+                    opp_detector = self.detectors[opposite_port(port)]
+                    if opp_detector is not None:
+                        opp_detector.note_opposite_insert(partial)
+
+    # ------------------------------------------------------------------ diagnostics
+
+    @property
+    def suspended_counts(self) -> Tuple[int, int]:
+        """Number of suspended tuples on the (left, right) blacklists."""
+        return (
+            sum(len(e.suspended) for e in self.blacklists[PORT_LEFT].entries()),
+            sum(len(e.suspended) for e in self.blacklists[PORT_RIGHT].entries()),
+        )

@@ -1,0 +1,77 @@
+"""Result collection and comparison.
+
+The root operator's emissions are the query results.  :class:`ResultCollector`
+records them, checks the temporal-order requirement of Section II ("for any
+two result tuples t and t′, t is reported before t′ if and only if
+t.ts ≤ t′.ts"), and provides canonical multisets so the test suite can assert
+that JIT, DOE and REF executions of the same workload produce exactly the
+same results — the central correctness property of the reproduction.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Counter as CounterType, Iterable, List, Optional, Tuple
+
+from repro.streams.tuples import AtomicTuple, CompositeTuple, StreamTuple
+
+__all__ = ["result_key", "result_multiset", "ResultCollector"]
+
+
+def result_key(tup: StreamTuple) -> Tuple:
+    """A canonical, hashable identity for a result tuple.
+
+    Two results are "the same" when they combine the same source records
+    (identified by source name and per-source sequence number); the composite
+    timestamp follows from the components, so it is included for clarity but
+    adds no discriminating power.
+    """
+    components = tuple(sorted((c.source, c.seq) for c in tup.components))
+    return (components, tup.ts)
+
+
+def result_multiset(results: Iterable[StreamTuple]) -> CounterType:
+    """The multiset of canonical result keys (order-independent comparison)."""
+    return Counter(result_key(t) for t in results)
+
+
+class ResultCollector:
+    """Accumulates the tuples emitted by a plan's root operator."""
+
+    def __init__(self, keep_tuples: bool = True) -> None:
+        self.keep_tuples = keep_tuples
+        self.results: List[StreamTuple] = []
+        self.count = 0
+        self._last_ts: Optional[float] = None
+        self.out_of_order = 0
+
+    def add(self, tup: StreamTuple) -> None:
+        """Record one result (installed as the plan's result sink)."""
+        self.count += 1
+        if self._last_ts is not None and tup.ts < self._last_ts:
+            self.out_of_order += 1
+        else:
+            self._last_ts = tup.ts
+        if self.keep_tuples:
+            self.results.append(tup)
+
+    @property
+    def temporally_ordered(self) -> bool:
+        """True if every result so far was reported in non-decreasing ts order."""
+        return self.out_of_order == 0
+
+    def multiset(self) -> CounterType:
+        """Canonical multiset of the collected results."""
+        if not self.keep_tuples and self.count:
+            raise RuntimeError("results were not kept; construct with keep_tuples=True")
+        return result_multiset(self.results)
+
+    def timestamps(self) -> List[float]:
+        """Timestamps of the collected results, in emission order."""
+        return [t.ts for t in self.results]
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return f"ResultCollector(count={self.count}, ordered={self.temporally_ordered})"

@@ -1,0 +1,172 @@
+"""Bloom filters, used for fast (approximate) MNS detection.
+
+Section IV-A of the paper proposes maintaining a Bloom filter [7] per
+equi-join attribute of the opposite operator state: a candidate sub-tuple
+whose attribute value is definitely absent from the filter cannot have a join
+partner and is therefore an MNS.  This detection is cheaper than the full
+CNS-lattice algorithm but may miss MNSs (false "maybe present" answers),
+which only costs performance, never correctness.
+
+Two variants are provided:
+
+* :class:`BloomFilter` -- the classic insert-only filter from the paper's
+  reference [7].
+* :class:`CountingBloomFilter` -- a counting variant supporting deletions, so
+  the filter can track a sliding-window state without periodic rebuilds.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List
+
+__all__ = ["BloomFilter", "CountingBloomFilter"]
+
+# Two large primes used to derive a family of independent-ish hash functions
+# from Python's builtin hash.  The exact functions do not matter for the
+# reproduction; only the "no false negatives" property does.
+_PRIME_A = 0x9E3779B97F4A7C15
+_PRIME_B = 0xC2B2AE3D27D4EB4F
+
+
+def _hashes(value: Hashable, num_hashes: int, num_bits: int) -> List[int]:
+    """Derive ``num_hashes`` bit positions for ``value``.
+
+    Uses double hashing (h1 + i*h2), the standard construction for Bloom
+    filter hash families.
+    """
+    base = hash(value)
+    h1 = (base * _PRIME_A) & 0xFFFFFFFFFFFFFFFF
+    h2 = ((base ^ _PRIME_B) * _PRIME_B) & 0xFFFFFFFFFFFFFFFF
+    if h2 % num_bits == 0:
+        h2 += 1
+    return [((h1 + i * h2) % num_bits) for i in range(num_hashes)]
+
+
+class BloomFilter:
+    """A classic ``k``-bit Bloom filter with ``l`` hash functions.
+
+    Parameters
+    ----------
+    num_bits:
+        Size of the bit array (the paper's ``k``).
+    num_hashes:
+        Number of hash functions (the paper's ``l``).
+    """
+
+    def __init__(self, num_bits: int = 1024, num_hashes: int = 3) -> None:
+        if num_bits <= 0:
+            raise ValueError(f"num_bits must be positive, got {num_bits}")
+        if num_hashes <= 0:
+            raise ValueError(f"num_hashes must be positive, got {num_hashes}")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = bytearray(num_bits)
+        self._count = 0
+
+    def add(self, value: Hashable) -> None:
+        """Insert ``value`` into the filter."""
+        for pos in _hashes(value, self.num_hashes, self.num_bits):
+            self._bits[pos] = 1
+        self._count += 1
+
+    def add_all(self, values: Iterable[Hashable]) -> None:
+        """Insert every value of ``values``."""
+        for value in values:
+            self.add(value)
+
+    def might_contain(self, value: Hashable) -> bool:
+        """Return False only if ``value`` was certainly never added."""
+        return all(self._bits[pos] for pos in _hashes(value, self.num_hashes, self.num_bits))
+
+    def definitely_absent(self, value: Hashable) -> bool:
+        """Return True if ``value`` was certainly never added (no false negatives)."""
+        return not self.might_contain(value)
+
+    def clear(self) -> None:
+        """Reset the filter to empty."""
+        self._bits = bytearray(self.num_bits)
+        self._count = 0
+
+    def __len__(self) -> int:
+        """Number of insertions performed (not the number of distinct values)."""
+        return self._count
+
+    @property
+    def memory_bytes(self) -> int:
+        """Modelled size of the filter: one bit per position, rounded up."""
+        return (self.num_bits + 7) // 8
+
+    def __repr__(self) -> str:
+        return f"BloomFilter(bits={self.num_bits}, hashes={self.num_hashes}, added={self._count})"
+
+
+class CountingBloomFilter:
+    """A Bloom filter with small counters per position, supporting removal.
+
+    Sliding-window states both insert (new arrivals) and delete (expirations);
+    a counting filter keeps the "definitely absent" guarantee under deletions
+    as long as every removal matches a prior insertion.
+    """
+
+    def __init__(self, num_bits: int = 1024, num_hashes: int = 3) -> None:
+        if num_bits <= 0:
+            raise ValueError(f"num_bits must be positive, got {num_bits}")
+        if num_hashes <= 0:
+            raise ValueError(f"num_hashes must be positive, got {num_hashes}")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._counters = [0] * num_bits
+        self._count = 0
+
+    def add(self, value: Hashable) -> None:
+        """Insert ``value`` into the filter."""
+        for pos in _hashes(value, self.num_hashes, self.num_bits):
+            self._counters[pos] += 1
+        self._count += 1
+
+    def remove(self, value: Hashable) -> None:
+        """Remove a previously-added ``value``.
+
+        Raises
+        ------
+        ValueError
+            If the removal cannot correspond to a prior insertion (a counter
+            would go negative), which indicates caller misuse.
+        """
+        positions = _hashes(value, self.num_hashes, self.num_bits)
+        if any(self._counters[pos] == 0 for pos in positions):
+            raise ValueError(f"removing value that was never added: {value!r}")
+        for pos in positions:
+            self._counters[pos] -= 1
+        self._count -= 1
+
+    def might_contain(self, value: Hashable) -> bool:
+        """Return False only if ``value`` is certainly not in the filter."""
+        return all(
+            self._counters[pos] > 0
+            for pos in _hashes(value, self.num_hashes, self.num_bits)
+        )
+
+    def definitely_absent(self, value: Hashable) -> bool:
+        """Return True if ``value`` is certainly not present."""
+        return not self.might_contain(value)
+
+    def clear(self) -> None:
+        """Reset the filter to empty."""
+        self._counters = [0] * self.num_bits
+        self._count = 0
+
+    def __len__(self) -> int:
+        """Number of values currently tracked (insertions minus removals)."""
+        return self._count
+
+    @property
+    def memory_bytes(self) -> int:
+        """Modelled size: 4 bits per counter, rounded up to bytes."""
+        return (self.num_bits * 4 + 7) // 8
+
+    def __repr__(self) -> str:
+        return (
+            f"CountingBloomFilter(bits={self.num_bits}, hashes={self.num_hashes}, "
+            f"tracked={self._count})"
+        )

@@ -1,0 +1,187 @@
+"""M-Join: multi-way join without intermediate-result states (Figure 2a).
+
+Viglas et al.'s M-Join [23] keeps one operator state per *source* and no
+states for intermediate results.  A tuple arriving from source ``X`` is
+inserted into ``S_X`` and then driven through a chain of half-joins against
+the states of the other sources; partial results are recomputed on the fly
+rather than stored.  Compared with an X-Join tree this costs less memory and
+more CPU (Section II of the paper), which the ablation benchmark
+``benchmarks/bench_ablations.py`` demonstrates.
+
+Implementation notes
+--------------------
+* The chain of half-join operators of Figure 2a is realized inside a single
+  :class:`MJoinOperator` (one probe loop per remaining source); the per-source
+  states are exactly the ``S_A``, ``S_B``, ... boxes of the figure.
+* Window semantics: a combination qualifies when **all** components lie
+  within one window of each other (``max ts − min ts ≤ w``).  A binary join
+  tree checks windows pairwise against composite timestamps, which admits a
+  few combinations whose extreme components are more than ``w`` apart; the
+  two plan styles therefore coincide exactly when no tuple expires during a
+  run (the setting used by the cross-plan equivalence tests) and differ only
+  in those edge combinations otherwise.
+* JIT: the paper's Section V sketches how suspension/resumption applies to
+  M-Join paths.  The evaluation section only benchmarks binary trees, so this
+  operator implements the REF behaviour plus the DOE-style empty-state
+  short-circuit (probing stops as soon as any required state is empty), and
+  exposes the per-source states so the Section V extension can be layered on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import JITConfig
+from repro.metrics import CostKind
+from repro.operators.base import Operator
+from repro.operators.join import BinaryJoinOperator
+from repro.operators.predicates import JoinPredicate
+from repro.operators.state import OperatorState
+from repro.plans.plan import ExecutionPlan
+from repro.plans.query import ContinuousQuery
+from repro.streams.tuples import StreamTuple, join_tuples
+
+__all__ = ["MJoinOperator", "build_mjoin_operators"]
+
+
+class MJoinOperator(Operator):
+    """Multi-way sliding-window join with per-source states only.
+
+    Parameters
+    ----------
+    name:
+        Operator name.
+    sources:
+        All participating source names; each becomes an input port and owns
+        one operator state.
+    predicate:
+        The query's join predicate.
+    probe_order:
+        Optional explicit probe order per source (default: the other sources
+        in lexicographic order, mirroring the fixed paths of Figure 2a).
+    empty_state_short_circuit:
+        Stop the chain as soon as a required state is empty (a DOE-flavoured
+        optimization that changes no results).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sources: Iterable[str],
+        predicate: JoinPredicate,
+        probe_order: Optional[Dict[str, Sequence[str]]] = None,
+        empty_state_short_circuit: bool = True,
+    ) -> None:
+        super().__init__(name)
+        self.source_names: Tuple[str, ...] = tuple(sorted(set(sources)))
+        if len(self.source_names) < 2:
+            raise ValueError("an M-Join needs at least two sources")
+        self.predicate = predicate
+        self.empty_state_short_circuit = empty_state_short_circuit
+        self._probe_order: Dict[str, Tuple[str, ...]] = {}
+        for source in self.source_names:
+            default = tuple(s for s in self.source_names if s != source)
+            order = tuple(probe_order.get(source, default)) if probe_order else default
+            if sorted(order) != sorted(default):
+                raise ValueError(
+                    f"probe order for {source!r} must cover exactly the other sources"
+                )
+            self._probe_order[source] = order
+        self.states: Dict[str, OperatorState] = {}
+        self.results_built = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    @property
+    def ports(self) -> Tuple[str, ...]:
+        return self.source_names
+
+    def output_sources(self) -> FrozenSet[str]:
+        return frozenset(self.source_names)
+
+    def input_sources(self, port: str) -> FrozenSet[str]:
+        self._check_port(port)
+        return frozenset({port})
+
+    def state_of(self, source: str) -> OperatorState:
+        """The operator state of one source (``S_A``, ``S_B``, ...)."""
+        return self.states[source]
+
+    def on_attach(self) -> None:
+        context = self.require_context()
+        self.states = {
+            source: OperatorState(f"S_{source}", context) for source in self.source_names
+        }
+
+    # -- processing ---------------------------------------------------------------
+
+    def process(self, tup: StreamTuple, port: str) -> None:
+        """Purge, insert into the own-source state, then run the probe chain."""
+        self._check_port(port)
+        context = self.require_context()
+        now = context.now
+        horizon = context.window.purge_horizon(now)
+        for state in self.states.values():
+            state.purge(horizon)
+        self.states[port].insert(tup, now)
+        self._extend([tup], list(self._probe_order[port]), now)
+
+    def _extend(self, partials: List[StreamTuple], remaining: List[str], now: float) -> None:
+        """Recursively join partial results against the remaining sources."""
+        if not partials:
+            return
+        if not remaining:
+            for result in partials:
+                self.results_built += 1
+                self.emit(result)
+            return
+        context = self.require_context()
+        window = context.window
+        source = remaining[0]
+        state = self.states[source]
+        if self.empty_state_short_circuit and state.is_empty:
+            return
+        next_partials: List[StreamTuple] = []
+        for partial in partials:
+            conditions = self.predicate.conditions_between(partial.sources, {source})
+            for entry in state.probe():
+                if entry.removed:
+                    continue
+                candidate_ts = (partial.ts, entry.ts)
+                span = max(
+                    max(c.ts for c in partial.components), entry.ts
+                ) - min(min(c.ts for c in partial.components), entry.ts)
+                if span > window.length:
+                    continue
+                ok = True
+                for cond in conditions:
+                    context.cost.charge(CostKind.PREDICATE_EVAL)
+                    if not cond.evaluate(partial, entry.tuple):
+                        ok = False
+                        break
+                if ok:
+                    next_partials.append(join_tuples(partial, entry.tuple))
+                del candidate_ts
+        self._extend(next_partials, remaining[1:], now)
+
+
+def build_mjoin_operators(
+    query: ContinuousQuery,
+    strategy: str = "ref",
+    jit_config: Optional[JITConfig] = None,
+) -> ExecutionPlan:
+    """Build an execution plan consisting of one M-Join operator.
+
+    ``strategy`` and ``jit_config`` are accepted for interface symmetry with
+    the X-Join builder; the M-Join currently always runs the REF behaviour
+    with the empty-state short-circuit (see the module docstring).
+    """
+    del jit_config  # the Section V extension is not wired into the evaluation
+    operator = MJoinOperator("MJoin", query.sources, query.predicate)
+    routing = {source: ((operator, source),) for source in query.sources}
+    return ExecutionPlan(
+        root=operator,
+        operators=(operator,),
+        routing=routing,
+        description=f"mjoin/{strategy}/N={query.n_sources}",
+    )

@@ -1,0 +1,112 @@
+"""Projection operator (presentation-level attribute selection).
+
+Projections in a continuous-query plan typically sit at the very top, shaping
+what the user sees; they neither hold state nor change which tuples exist.
+This operator therefore emits, for every input, a flat
+:class:`~repro.streams.tuples.AtomicTuple` whose attributes are the selected
+``source.attribute`` columns, and relays JIT feedback unchanged to its
+producer (Section V: a non-join operator "can simply pass feedback from a
+downstream consumer" upstream).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.metrics import CostKind
+from repro.operators.base import PORT_INPUT, UnaryOperator
+from repro.operators.predicates import AttributeRef
+from repro.streams.tuples import AtomicTuple, StreamTuple
+
+__all__ = ["ProjectionOperator"]
+
+
+class ProjectionOperator(UnaryOperator):
+    """Project each input tuple onto a list of ``source.attribute`` columns.
+
+    Parameters
+    ----------
+    name:
+        Operator name.
+    columns:
+        Attribute references to keep, in output order.
+    output_name:
+        Source name given to the emitted flat tuples (defaults to ``"OUT"``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[AttributeRef],
+        output_name: str = "OUT",
+    ) -> None:
+        super().__init__(name)
+        if not columns:
+            raise ValueError("a projection needs at least one output column")
+        self.columns: Tuple[AttributeRef, ...] = tuple(columns)
+        self.output_name = output_name
+        self._emit_seq = 0
+
+    def output_sources(self) -> FrozenSet[str]:
+        return frozenset(ref.source for ref in self.columns)
+
+    def input_sources(self, port: str) -> FrozenSet[str]:
+        self._check_port(port)
+        return self.output_sources()
+
+    def process(self, tup: StreamTuple, port: str) -> None:
+        """Emit a flat tuple carrying only the projected columns."""
+        self._check_port(port)
+        context = self.require_context()
+        values = {}
+        for ref in self.columns:
+            context.cost.charge(CostKind.PREDICATE_EVAL)
+            values[f"{ref.source}_{ref.attribute}"] = ref.value(tup)
+        projected = AtomicTuple(
+            source=self.output_name,
+            ts=tup.ts,
+            attrs=values,
+            seq=self._emit_seq,
+        )
+        self._emit_seq += 1
+        self.emit(projected)
+
+    # -- producer-side pass-through ------------------------------------------------
+
+    def handle_feedback(self, feedback, from_consumer) -> None:
+        """Relay feedback to the upstream producer unchanged."""
+        producer = self.producer_of(PORT_INPUT)
+        if producer is not None:
+            self.require_context().cost.charge(CostKind.FEEDBACK_MESSAGE)
+            producer.handle_feedback(feedback, self)
+
+    def supports_production_control(self) -> bool:
+        producer = self.producers.get(PORT_INPUT)
+        return producer is not None and producer.supports_production_control()
+
+    def suspension_alive(self, signature, now: float) -> bool:
+        """Delegate suspension liveness to the upstream producer."""
+        producer = self.producers.get(PORT_INPUT)
+        return producer is not None and producer.suspension_alive(signature, now)
+
+    def produce_suspended(self, feedback) -> List[StreamTuple]:
+        """Fetch and project tuples resumed by the upstream producer."""
+        producer = self.producer_of(PORT_INPUT)
+        if producer is None:
+            return []
+        context = self.require_context()
+        projected: List[StreamTuple] = []
+        for tup in producer.produce_suspended(feedback):
+            values = {}
+            for ref in self.columns:
+                context.cost.charge(CostKind.PREDICATE_EVAL)
+                values[f"{ref.source}_{ref.attribute}"] = ref.value(tup)
+            projected.append(
+                AtomicTuple(self.output_name, tup.ts, values, seq=self._emit_seq)
+            )
+            self._emit_seq += 1
+        return projected
+
+    def __repr__(self) -> str:
+        cols = ", ".join(str(c) for c in self.columns)
+        return f"ProjectionOperator({self.name!r}: π {cols})"

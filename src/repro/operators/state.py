@@ -1,0 +1,287 @@
+"""Operator states: the windows of live tuples kept by stateful operators.
+
+Every input of a (binary) window join keeps an *operator state* — the set of
+tuples from that input that arrived within the last ``w`` seconds (Section II
+of the paper; ``SA``, ``SB``, ``SAB``, ... in Figure 1b).  The state supports
+the purge-probe-insert routine of Kang et al. [16]:
+
+* **purge** drops tuples older than the purge horizon,
+* **probe** iterates live tuples so the join can evaluate its predicate
+  (nested-loop, the algorithm used in the paper's experiments) or look up a
+  hash index on the equi-join key,
+* **insert** appends the incoming tuple.
+
+The state also supports the operations JIT needs on top of the baseline:
+
+* extracting all super-tuples of an MNS (to move them to a blacklist),
+* arrival *sequence numbers* used as resume watermarks — entries are stored
+  and probed in insertion order, so "everything after sequence ``m``" is
+  exactly the set of partners a suspended tuple has not met yet,
+* a purge *floor* so that, while suspended tuples exist that have not met
+  some of this state's tuples, those tuples are retained past their normal
+  expiry (see DESIGN.md, "Delayed purge under suspension").
+
+Internally the entry list is append-only and in insertion order; purging uses
+a timestamp min-heap and marks entries as removed, and the list is compacted
+lazily once removed entries accumulate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.context import ExecutionContext
+from repro.metrics import CostKind
+from repro.operators.predicates import AttributeRef
+from repro.streams.tuples import StreamTuple
+
+__all__ = ["StateEntry", "OperatorState"]
+
+
+@dataclass
+class StateEntry:
+    """A tuple stored in an operator state, with bookkeeping.
+
+    Attributes
+    ----------
+    tuple:
+        The stored stream tuple.
+    seq:
+        State-local arrival sequence number: strictly increasing in insertion
+        order.  JIT resume watermarks are expressed in these sequence numbers.
+    inserted_at:
+        Simulated time at which the tuple entered the state.
+    removed:
+        Set to True when the entry leaves the state (purged, extracted to a
+        blacklist, ...).  Probe loops skip removed entries, which also guards
+        against entries removed re-entrantly by a JIT feedback arriving while
+        a probe over a snapshot is still running.
+    """
+
+    tuple: StreamTuple
+    seq: int
+    inserted_at: float
+    removed: bool = False
+
+    @property
+    def ts(self) -> float:
+        """Timestamp of the stored tuple."""
+        return self.tuple.ts
+
+
+class OperatorState:
+    """A window of live tuples for one input of a stateful operator.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name (``"S_AB"`` etc.), used in diagnostics.
+    context:
+        The shared execution context (clock, window, cost and memory models).
+    key_refs:
+        Optional equi-join key: when given, a hash index from the referenced
+        attribute values to entries is maintained and :meth:`probe_key` can
+        be used instead of a full scan.  The paper's experiments use plain
+        nested loops, so the index is off by default.
+    memory_category:
+        Category under which this state's bytes are charged to the memory
+        model.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        context: ExecutionContext,
+        key_refs: Optional[Sequence[AttributeRef]] = None,
+        memory_category: str = "state",
+    ) -> None:
+        self.name = name
+        self.context = context
+        self.key_refs = tuple(key_refs) if key_refs else None
+        self.memory_category = memory_category
+        self._entries: List[StateEntry] = []  # insertion order, lazily compacted
+        self._expiry_heap: List[Tuple[float, int, StateEntry]] = []
+        self._heap_counter = 0
+        self._index: Dict[Tuple[object, ...], List[StateEntry]] = {}
+        self._next_seq = 0
+        self._active_count = 0
+        #: Lowest timestamp that purging is allowed to remove; JIT raises this
+        #: floor while suspended tuples elsewhere still need this state's
+        #: contents.  ``None`` means no floor (purge normally).
+        self.purge_floor: Optional[float] = None
+
+    # -- basic container protocol -------------------------------------------
+
+    def __len__(self) -> int:
+        return self._active_count
+
+    def __iter__(self) -> Iterator[StateEntry]:
+        return (e for e in self._entries if not e.removed)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the state holds no tuples at all (live or retained)."""
+        return self._active_count == 0
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next inserted tuple will receive."""
+        return self._next_seq
+
+    @property
+    def memory_bytes(self) -> int:
+        """Modelled bytes currently held by this state."""
+        return sum(e.tuple.size_bytes for e in self._entries if not e.removed)
+
+    def entries(self) -> List[StateEntry]:
+        """All present entries in insertion order."""
+        return [e for e in self._entries if not e.removed]
+
+    def tuples(self) -> List[StreamTuple]:
+        """All stored tuples in insertion order."""
+        return [e.tuple for e in self._entries if not e.removed]
+
+    # -- purge / probe / insert ----------------------------------------------
+
+    def insert(
+        self, tup: StreamTuple, now: Optional[float] = None, seq: Optional[int] = None
+    ) -> StateEntry:
+        """Insert ``tup`` into the state and return its entry.
+
+        ``seq`` lets JIT re-insert a previously extracted tuple under its
+        *original* sequence number, so that watermarks other suspended tuples
+        recorded against it stay meaningful.  New tuples omit it and receive
+        the next sequence number.
+        """
+        now = self.context.now if now is None else now
+        if seq is None:
+            seq = self._next_seq
+            self._next_seq += 1
+        elif seq >= self._next_seq:
+            self._next_seq = seq + 1
+        entry = StateEntry(tuple=tup, seq=seq, inserted_at=now)
+        self._entries.append(entry)
+        self._heap_counter += 1
+        heapq.heappush(self._expiry_heap, (tup.ts, self._heap_counter, entry))
+        self._active_count += 1
+        if self.key_refs is not None:
+            self._index.setdefault(self._key_of(tup), []).append(entry)
+            self.context.cost.charge(CostKind.HASH)
+        self.context.cost.charge(CostKind.INSERT)
+        self.context.memory.allocate(tup.size_bytes, self.memory_category)
+        return entry
+
+    def purge(self, horizon: float) -> List[StateEntry]:
+        """Remove and return entries with timestamp strictly below ``horizon``.
+
+        The caller computes the horizon (typically ``now - w``); when a purge
+        floor is set (JIT's delayed purge), tuples at or above the floor are
+        retained regardless of the horizon.
+        """
+        if self.purge_floor is not None:
+            horizon = min(horizon, self.purge_floor)
+        removed: List[StateEntry] = []
+        while self._expiry_heap and self._expiry_heap[0][0] < horizon:
+            _ts, _seq, entry = heapq.heappop(self._expiry_heap)
+            if entry.removed:
+                continue
+            self._forget(entry)
+            removed.append(entry)
+        if removed:
+            self.context.cost.charge(CostKind.PURGE, len(removed))
+        self._maybe_compact()
+        return removed
+
+    def probe(self, live_only_after: Optional[float] = None) -> Iterator[StateEntry]:
+        """Iterate present entries in insertion order, charging one probe step each.
+
+        Parameters
+        ----------
+        live_only_after:
+            When given, entries with ``ts < live_only_after`` are skipped
+            without charge.  Used when a purge floor keeps formally-expired
+            tuples around for JIT resumption: the regular probe must not see
+            them, otherwise REF-equivalence would be violated.
+        """
+        for entry in list(self._entries):
+            if entry.removed:
+                continue
+            if live_only_after is not None and entry.ts < live_only_after:
+                continue
+            self.context.cost.charge(CostKind.PROBE_STEP)
+            yield entry
+
+    def probe_key(self, key: Tuple[object, ...]) -> List[StateEntry]:
+        """Hash-probe the index built over ``key_refs``."""
+        if self.key_refs is None:
+            raise RuntimeError(f"state {self.name!r} has no hash index")
+        self.context.cost.charge(CostKind.HASH)
+        matches = [e for e in self._index.get(key, []) if not e.removed]
+        if matches:
+            self.context.cost.charge(CostKind.PROBE_STEP, len(matches))
+        return matches
+
+    def key_of(self, tup: StreamTuple) -> Tuple[object, ...]:
+        """Compute the index key of ``tup`` (requires ``key_refs``)."""
+        if self.key_refs is None:
+            raise RuntimeError(f"state {self.name!r} has no hash index")
+        return self._key_of(tup)
+
+    # -- JIT support ----------------------------------------------------------
+
+    def extract(self, selector: Callable[[StreamTuple], bool]) -> List[StateEntry]:
+        """Remove and return all present entries whose tuple satisfies ``selector``.
+
+        Used by ``Suspend_Production`` to move super-tuples of an MNS from the
+        state into a blacklist.  Charges one blacklist-scan step per examined
+        entry (the scan is explicit in the paper's Section IV-B).
+        """
+        removed: List[StateEntry] = []
+        for entry in self._entries:
+            if entry.removed:
+                continue
+            self.context.cost.charge(CostKind.BLACKLIST_SCAN)
+            if selector(entry.tuple):
+                self._forget(entry)
+                removed.append(entry)
+        self._maybe_compact()
+        return removed
+
+    def remove_entry(self, entry: StateEntry) -> None:
+        """Remove a specific entry (by identity) from the state."""
+        if entry.removed:
+            raise KeyError(f"entry {entry!r} not present in state {self.name!r}")
+        self._forget(entry)
+
+    # -- internals -------------------------------------------------------------
+
+    def _key_of(self, tup: StreamTuple) -> Tuple[object, ...]:
+        assert self.key_refs is not None
+        return tuple(ref.value(tup) for ref in self.key_refs)
+
+    def _forget(self, entry: StateEntry) -> None:
+        """Release accounting and index bookkeeping for a removed entry."""
+        if entry.removed:
+            return
+        entry.removed = True
+        self._active_count -= 1
+        if self.key_refs is not None:
+            bucket = self._index.get(self._key_of(entry.tuple))
+            if bucket:
+                for pos, existing in enumerate(bucket):
+                    if existing is entry:
+                        bucket.pop(pos)
+                        break
+                if not bucket:
+                    self._index.pop(self._key_of(entry.tuple), None)
+        self.context.memory.release(entry.tuple.size_bytes, self.memory_category)
+
+    def _maybe_compact(self) -> None:
+        """Drop removed entries from the list once they dominate it."""
+        if len(self._entries) > 32 and self._active_count < len(self._entries) // 2:
+            self._entries = [e for e in self._entries if not e.removed]
+
+    def __repr__(self) -> str:
+        return f"OperatorState({self.name!r}, size={self._active_count})"

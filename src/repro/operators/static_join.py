@@ -1,0 +1,164 @@
+"""Join of a stream input with a static (non-streaming) relation.
+
+Figure 9b of the paper shows a consumer that joins the output of a stream
+join with a static relation ``RC``.  Because the relation never changes, a
+stream tuple that has no partner in it never will, so — like the selection
+consumer of Figure 9a — the operator may send *permanent* suspension feedback
+and never needs resumption.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.metrics import CostKind
+from repro.operators.base import PORT_INPUT, UnaryOperator
+from repro.operators.predicates import JoinCondition, JoinPredicate
+from repro.streams.tuples import AtomicTuple, StreamTuple, join_tuples
+
+__all__ = ["StaticJoinOperator"]
+
+
+class StaticJoinOperator(UnaryOperator):
+    """Join every input tuple against an in-memory static relation.
+
+    Parameters
+    ----------
+    name:
+        Operator name.
+    relation:
+        The static relation: a sequence of :class:`AtomicTuple` objects, all
+        from the same (pseudo-)source.
+    predicate:
+        Full query predicate; only conditions between the stream side and the
+        relation's source are evaluated here.
+    stream_sources:
+        Sources covered by the stream input.
+    jit_feedback:
+        When True, an input with no partner in the relation triggers a
+        permanent suspension naming the responsible components.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        relation: Sequence[AtomicTuple],
+        predicate: JoinPredicate,
+        stream_sources: Iterable[str],
+        jit_feedback: bool = False,
+    ) -> None:
+        super().__init__(name)
+        if not relation:
+            raise ValueError("the static relation must not be empty")
+        relation_sources = {t.source for t in relation}
+        if len(relation_sources) != 1:
+            raise ValueError(
+                f"static relation tuples must share one source, got {sorted(relation_sources)}"
+            )
+        self.relation: Tuple[AtomicTuple, ...] = tuple(relation)
+        self.relation_source = next(iter(relation_sources))
+        self.stream_sources = frozenset(stream_sources)
+        self.predicate = predicate
+        self.local_conditions: Tuple[JoinCondition, ...] = predicate.conditions_between(
+            self.stream_sources, {self.relation_source}
+        )
+        self.jit_feedback = jit_feedback
+        self.matched_inputs = 0
+        self.unmatched_inputs = 0
+
+    def output_sources(self) -> FrozenSet[str]:
+        return self.stream_sources | {self.relation_source}
+
+    def input_sources(self, port: str) -> FrozenSet[str]:
+        self._check_port(port)
+        return self.stream_sources
+
+    def process(self, tup: StreamTuple, port: str) -> None:
+        """Probe the static relation with ``tup``, emitting all matches."""
+        self._check_port(port)
+        context = self.require_context()
+        matches = 0
+        for row in self.relation:
+            context.cost.charge(CostKind.PROBE_STEP)
+            ok = True
+            for cond in self.local_conditions:
+                context.cost.charge(CostKind.PREDICATE_EVAL)
+                if not cond.evaluate(tup, row):
+                    ok = False
+                    break
+            if ok:
+                matches += 1
+                self.emit(join_tuples(tup, row))
+        if matches:
+            self.matched_inputs += 1
+            return
+        self.unmatched_inputs += 1
+        if self.jit_feedback:
+            self._send_permanent_suspension(tup)
+
+    def _send_permanent_suspension(self, tup: StreamTuple) -> None:
+        """Permanently suspend super-tuples of the components that cannot match."""
+        producer = self.producer_of(PORT_INPUT)
+        if producer is None or not producer.supports_production_control():
+            return
+        from repro.core.feedback import Feedback
+        from repro.core.signature import MNSSignature
+
+        # The components relevant to this consumer are the stream-side sources
+        # named in its conditions with the relation; the whole combination has
+        # no partner, so it is reported as one (possibly multi-source) MNS.
+        relevant = sorted(
+            {
+                (cond.left if cond.left.source in self.stream_sources else cond.right).source
+                for cond in self.local_conditions
+            }
+        )
+        attrs = tuple(
+            (
+                (cond.left if cond.left.source in self.stream_sources else cond.right).source,
+                (cond.left if cond.left.source in self.stream_sources else cond.right).attribute,
+            )
+            for cond in self.local_conditions
+        )
+        if not relevant:
+            return
+        signature = MNSSignature.from_components(tup, tuple(relevant), attrs)
+        self.require_context().cost.charge(CostKind.FEEDBACK_MESSAGE)
+        producer.handle_feedback(Feedback.suspend((signature,), permanent=True), self)
+
+    # -- producer-side pass-through -------------------------------------------------
+
+    def handle_feedback(self, feedback, from_consumer) -> None:
+        """Relay downstream feedback to the upstream producer."""
+        producer = self.producer_of(PORT_INPUT)
+        if producer is not None:
+            self.require_context().cost.charge(CostKind.FEEDBACK_MESSAGE)
+            producer.handle_feedback(feedback, self)
+
+    def supports_production_control(self) -> bool:
+        producer = self.producers.get(PORT_INPUT)
+        return producer is not None and producer.supports_production_control()
+
+    def suspension_alive(self, signature, now: float) -> bool:
+        """Delegate suspension liveness to the upstream producer."""
+        producer = self.producers.get(PORT_INPUT)
+        return producer is not None and producer.suspension_alive(signature, now)
+
+    def produce_suspended(self, feedback) -> List[StreamTuple]:
+        """Fetch resumed tuples from upstream and join them with the relation."""
+        producer = self.producer_of(PORT_INPUT)
+        if producer is None:
+            return []
+        context = self.require_context()
+        out: List[StreamTuple] = []
+        for tup in producer.produce_suspended(feedback):
+            for row in self.relation:
+                context.cost.charge(CostKind.PROBE_STEP)
+                if all(cond.evaluate(tup, row) for cond in self.local_conditions):
+                    context.cost.charge(CostKind.PREDICATE_EVAL, len(self.local_conditions))
+                    out.append(join_tuples(tup, row))
+        return out
+
+    def __repr__(self) -> str:
+        streams = "".join(sorted(self.stream_sources))
+        return f"StaticJoinOperator({self.name!r}: {streams} ⋈ {self.relation_source}[static])"

@@ -1,0 +1,38 @@
+"""Query plans: query descriptions, plan containers and plan builders.
+
+* :mod:`repro.plans.query` -- declarative description of a continuous query
+  (sources, window, join predicate, optional selections/projection).
+* :mod:`repro.plans.plan` -- :class:`ExecutionPlan`, the wired operator tree
+  plus source routing, ready to be driven by the execution engine.
+* :mod:`repro.plans.builder` -- builders for the plan shapes of Table II
+  (left-deep, right-deep, bushy) with REF, JIT or DOE operators, plus M-Join
+  and Eddy plans (Figure 2).
+* :mod:`repro.plans.cql` -- a small CQL-style front end for queries of the
+  form shown in Figure 1a.
+"""
+
+from repro.plans.query import ContinuousQuery
+from repro.plans.plan import ExecutionPlan
+from repro.plans.builder import (
+    PLAN_BUSHY,
+    PLAN_LEFT_DEEP,
+    PLAN_RIGHT_DEEP,
+    build_eddy_plan,
+    build_mjoin_plan,
+    build_xjoin_plan,
+    paper_plan_shape,
+)
+from repro.plans.cql import parse_cql
+
+__all__ = [
+    "ContinuousQuery",
+    "ExecutionPlan",
+    "PLAN_BUSHY",
+    "PLAN_LEFT_DEEP",
+    "PLAN_RIGHT_DEEP",
+    "build_xjoin_plan",
+    "build_mjoin_plan",
+    "build_eddy_plan",
+    "paper_plan_shape",
+    "parse_cql",
+]

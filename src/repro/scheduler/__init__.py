@@ -1,0 +1,31 @@
+"""Operator scheduling for the queued execution mode (Section III-B).
+
+When inter-operator queues are present, the DSMS must decide which operator
+runs next.  The paper's JIT scheduling policies boil down to: handle feedback
+immediately (which this library does by construction — feedback is delivered
+synchronously), give a producer that is answering a resumption a higher
+priority than its consumer, and give an operator handling a suspension a
+higher priority than its upstream operators.
+
+:class:`~repro.scheduler.scheduler.OperatorScheduler` is the strategy
+interface; concrete policies live in :mod:`repro.scheduler.policies`.
+"""
+
+from repro.scheduler.scheduler import OperatorScheduler, ReadyInput
+from repro.scheduler.policies import (
+    FIFOScheduler,
+    JITAwareScheduler,
+    PriorityScheduler,
+    RoundRobinScheduler,
+    build_scheduler,
+)
+
+__all__ = [
+    "OperatorScheduler",
+    "ReadyInput",
+    "FIFOScheduler",
+    "RoundRobinScheduler",
+    "PriorityScheduler",
+    "JITAwareScheduler",
+    "build_scheduler",
+]

@@ -1,0 +1,145 @@
+"""Concrete operator-scheduling policies.
+
+Four policies are provided:
+
+* :class:`FIFOScheduler` — run the input whose head tuple is oldest, which
+  preserves global temporal order of processing (the default, and the policy
+  whose results must match synchronous execution exactly).
+* :class:`RoundRobinScheduler` — cycle through ready inputs.
+* :class:`PriorityScheduler` — prefer operators closer to (or farther from)
+  the plan root, the classic "chain"-style static policy referenced by the
+  paper's related-work discussion of operator scheduling [9].
+* :class:`JITAwareScheduler` — FIFO order plus the paper's Section III-B
+  rules: after a resumption feedback the producer is temporarily preferred
+  over its consumer; after a suspension the handling operator is preferred
+  over its upstream operators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.operators.base import Operator
+from repro.scheduler.scheduler import OperatorScheduler, ReadyInput
+
+__all__ = [
+    "FIFOScheduler",
+    "RoundRobinScheduler",
+    "PriorityScheduler",
+    "JITAwareScheduler",
+    "build_scheduler",
+]
+
+
+class FIFOScheduler(OperatorScheduler):
+    """Run the ready input with the oldest head tuple (global FIFO)."""
+
+    name = "fifo"
+
+    def select(self, ready: Sequence[ReadyInput]) -> int:
+        best = 0
+        best_ts = ready[0].head_ts
+        for index, item in enumerate(ready[1:], start=1):
+            ts = item.head_ts
+            if ts < best_ts:
+                best, best_ts = index, ts
+        return best
+
+
+class RoundRobinScheduler(OperatorScheduler):
+    """Cycle through ready inputs in turn."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def select(self, ready: Sequence[ReadyInput]) -> int:
+        index = self._cursor % len(ready)
+        self._cursor += 1
+        return index
+
+
+class PriorityScheduler(OperatorScheduler):
+    """Prefer operators by their distance from the plan root.
+
+    Parameters
+    ----------
+    prefer_downstream:
+        When True (default) operators nearer the root run first, which drains
+        intermediate results quickly and minimizes queue memory; when False
+        upstream operators run first, which maximizes batching.
+    """
+
+    name = "priority"
+
+    def __init__(self, prefer_downstream: bool = True) -> None:
+        self.prefer_downstream = prefer_downstream
+
+    def select(self, ready: Sequence[ReadyInput]) -> int:
+        keyed = [
+            (item.depth if self.prefer_downstream else -item.depth, item.head_ts, index)
+            for index, item in enumerate(ready)
+        ]
+        keyed.sort()
+        return keyed[0][2]
+
+
+class JITAwareScheduler(OperatorScheduler):
+    """FIFO plus the temporary priority boosts of Section III-B.
+
+    The engine calls :meth:`notify_feedback` whenever feedback flows; a
+    producer that just received a resumption is boosted for the next
+    ``boost_steps`` scheduling decisions so the consumer does not sit idle
+    waiting for the requested partial results, and an operator that received
+    a suspension is boosted over its upstream operators.
+    """
+
+    name = "jit_aware"
+
+    def __init__(self, boost_steps: int = 8) -> None:
+        if boost_steps <= 0:
+            raise ValueError(f"boost_steps must be positive, got {boost_steps}")
+        self.boost_steps = boost_steps
+        self._boosts: Dict[int, int] = {}
+        self._fifo = FIFOScheduler()
+
+    def notify_feedback(self, producer: Operator, consumer: Operator, kind: str) -> None:
+        self._boosts[id(producer)] = self.boost_steps
+
+    def select(self, ready: Sequence[ReadyInput]) -> int:
+        boosted: Optional[int] = None
+        for index, item in enumerate(ready):
+            remaining = self._boosts.get(id(item.operator), 0)
+            if remaining > 0:
+                boosted = index
+                break
+        self._decay()
+        if boosted is not None:
+            return boosted
+        return self._fifo.select(ready)
+
+    def _decay(self) -> None:
+        for key in list(self._boosts):
+            self._boosts[key] -= 1
+            if self._boosts[key] <= 0:
+                del self._boosts[key]
+
+
+_POLICIES = {
+    FIFOScheduler.name: FIFOScheduler,
+    RoundRobinScheduler.name: RoundRobinScheduler,
+    PriorityScheduler.name: PriorityScheduler,
+    JITAwareScheduler.name: JITAwareScheduler,
+}
+
+
+def build_scheduler(name: str = "fifo") -> OperatorScheduler:
+    """Build a scheduler by policy name (``fifo``, ``round_robin``, ``priority``,
+    ``jit_aware``)."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler policy {name!r}; expected one of {sorted(_POLICIES)}"
+        ) from None

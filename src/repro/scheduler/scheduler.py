@@ -1,0 +1,58 @@
+"""The operator-scheduler strategy interface.
+
+The queued execution engine repeatedly builds the list of *ready inputs* —
+every non-empty (operator, port, queue) triple — and asks the scheduler which
+one to run next.  A scheduler is a pure selection policy; it never mutates
+queues or operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.operators.base import Operator
+from repro.operators.queues import InterOperatorQueue
+
+__all__ = ["ReadyInput", "OperatorScheduler"]
+
+
+@dataclass(frozen=True)
+class ReadyInput:
+    """One runnable unit of work: an operator port with a non-empty queue."""
+
+    operator: Operator
+    port: str
+    queue: InterOperatorQueue
+    #: Distance of the operator from the plan root (root = 0); schedulers may
+    #: use it to prefer upstream or downstream work.
+    depth: int = 0
+
+    @property
+    def head_ts(self) -> float:
+        """Timestamp of the oldest queued tuple (infinity when empty)."""
+        head = self.queue.peek()
+        return head.ts if head is not None else float("inf")
+
+
+class OperatorScheduler:
+    """Base class for operator scheduling policies."""
+
+    name = "base"
+
+    def select(self, ready: Sequence[ReadyInput]) -> int:
+        """Return the index (into ``ready``) of the input to run next.
+
+        ``ready`` is never empty when this is called.
+        """
+        raise NotImplementedError
+
+    def notify_feedback(self, producer: Operator, consumer: Operator, kind: str) -> None:
+        """Hook invoked by the engine when feedback flows between operators.
+
+        Policies that implement the paper's Section III-B priority rules use
+        this to temporarily boost the producer; the default ignores it.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.context import ExecutionContext
+from repro.operators.predicates import AttributeRef, EquiJoinCondition, JoinPredicate
+from repro.streams.generators import generate_clique_workload
+from repro.streams.time import Window
+from repro.streams.tuples import AtomicTuple
+
+from helpers import make_tuple
+
+
+@pytest.fixture
+def window() -> Window:
+    """A 60-second window used by most unit tests."""
+    return Window(60.0)
+
+
+@pytest.fixture
+def context(window: Window) -> ExecutionContext:
+    """A fresh execution context with a 60-second window."""
+    return ExecutionContext(window=window)
+
+
+@pytest.fixture
+def abc_predicate() -> JoinPredicate:
+    """The running example's predicate: A.x = B.x AND A.y = C.y (Figure 1a)."""
+    return JoinPredicate(
+        (
+            EquiJoinCondition(AttributeRef("A", "x"), AttributeRef("B", "x")),
+            EquiJoinCondition(AttributeRef("A", "y"), AttributeRef("C", "y")),
+        )
+    )
+
+
+@pytest.fixture
+def small_workload():
+    """A tiny 3-source clique workload for integration tests."""
+    return generate_clique_workload(
+        n_sources=3, rate=1.0, window_seconds=40, dmax=6, duration=100, seed=11
+    )
+
+
+@pytest.fixture
+def tuple_factory():
+    """Expose :func:`make_tuple` as a fixture."""
+    return make_tuple

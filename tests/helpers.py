@@ -1,0 +1,10 @@
+"""Small helpers shared by the test modules."""
+
+from __future__ import annotations
+
+from repro.streams.tuples import AtomicTuple
+
+
+def make_tuple(source: str, ts: float, seq: int = 0, **attrs: object) -> AtomicTuple:
+    """Build an atomic tuple from keyword attribute values."""
+    return AtomicTuple(source, ts, attrs, seq=seq)

@@ -1,0 +1,271 @@
+"""Integration tests and property-based tests.
+
+The central correctness property of the reproduction: JIT (under any
+configuration), DOE and REF executions of the same workload produce exactly
+the same result set, regardless of plan shape or execution mode.  Hypothesis
+drives randomized workloads and configurations against that invariant, plus
+invariants of the lower-level data structures.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.context import ExecutionContext
+from repro.core.cns_lattice import CNSLattice
+from repro.core.config import DetectionMode, JITConfig, RetentionPolicy
+from repro.engine import run_workload
+from repro.engine.results import result_multiset
+from repro.experiments import (
+    BUSHY_DEFAULTS,
+    LEFT_DEEP_DEFAULTS,
+    detection_mode_ablation,
+    figure10,
+    format_figure,
+    plan_style_ablation,
+    scaled_workload,
+    scheduler_ablation,
+    sweep_parameter,
+)
+from repro.operators.bloom import CountingBloomFilter
+from repro.operators.state import OperatorState
+from repro.plans.builder import (
+    PLAN_BUSHY,
+    PLAN_LEFT_DEEP,
+    PLAN_RIGHT_DEEP,
+    STRATEGY_DOE,
+    STRATEGY_JIT,
+    STRATEGY_REF,
+    build_eddy_plan,
+    build_mjoin_plan,
+    build_xjoin_plan,
+)
+from repro.plans.query import ContinuousQuery
+from repro.streams.generators import generate_clique_workload
+from repro.streams.time import Window
+from repro.streams.tuples import AtomicTuple
+
+
+def _run_all(workload, shape, strategies, jit_config=None):
+    query = ContinuousQuery.from_workload(workload)
+    events = workload.events()
+    out = {}
+    for strategy in strategies:
+        plan = build_xjoin_plan(query, shape=shape, strategy=strategy, jit_config=jit_config)
+        report = run_workload(plan, events, window_length=workload.window.length)
+        out[strategy] = report
+    return out
+
+
+# --------------------------------------------------------------------------- integration
+
+
+class TestStrategyEquivalence:
+    @pytest.mark.parametrize("shape", [PLAN_LEFT_DEEP, PLAN_BUSHY, PLAN_RIGHT_DEEP])
+    @pytest.mark.parametrize("n_sources", [3, 4])
+    def test_jit_and_doe_match_ref(self, shape, n_sources):
+        workload = generate_clique_workload(
+            n_sources=n_sources, rate=1.0, window_seconds=50, dmax=7, duration=120, seed=5
+        )
+        reports = _run_all(workload, shape, (STRATEGY_REF, STRATEGY_JIT, STRATEGY_DOE))
+        ref = result_multiset(reports[STRATEGY_REF].results.results)
+        assert result_multiset(reports[STRATEGY_JIT].results.results) == ref
+        assert result_multiset(reports[STRATEGY_DOE].results.results) == ref
+        assert reports[STRATEGY_REF].result_count > 0
+
+    def test_jit_saves_cpu_on_selective_workload(self):
+        # A selective top join over a 3-way left-deep plan (the Figure 16
+        # N=3 setting at reduced scale) is a regime where JIT's savings
+        # clearly exceed its detection overhead.
+        workload = generate_clique_workload(
+            n_sources=3,
+            rate=1.0,
+            window_seconds=36,
+            dmax=50,
+            duration=110,
+            seed=9,
+            value_range_overrides={"C": 5000},
+        )
+        reports = _run_all(
+            workload,
+            PLAN_LEFT_DEEP,
+            (STRATEGY_REF, STRATEGY_JIT),
+            jit_config=JITConfig(retention_policy=RetentionPolicy.WINDOW),
+        )
+        assert (
+            reports[STRATEGY_JIT].cpu_units < reports[STRATEGY_REF].cpu_units
+        ), "JIT should need fewer modelled CPU units than REF on a selective workload"
+
+    def test_bloom_detection_is_correct(self):
+        workload = generate_clique_workload(
+            n_sources=3, rate=1.0, window_seconds=50, dmax=6, duration=120, seed=3
+        )
+        reports = _run_all(
+            workload,
+            PLAN_LEFT_DEEP,
+            (STRATEGY_REF, STRATEGY_JIT),
+            jit_config=JITConfig(detection_mode=DetectionMode.BLOOM),
+        )
+        assert result_multiset(reports[STRATEGY_JIT].results.results) == result_multiset(
+            reports[STRATEGY_REF].results.results
+        )
+
+    def test_mjoin_and_eddy_match_xjoin_without_expiry(self):
+        # With a window longer than the run, all plan styles share the same
+        # multiway window semantics, so their outputs must coincide exactly.
+        workload = generate_clique_workload(
+            n_sources=3, rate=1.0, window_seconds=500, dmax=6, duration=90, seed=4
+        )
+        query = ContinuousQuery.from_workload(workload)
+        events = workload.events()
+        xjoin = run_workload(
+            build_xjoin_plan(query, shape=PLAN_LEFT_DEEP, strategy=STRATEGY_REF),
+            events,
+            workload.window.length,
+        )
+        mjoin = run_workload(build_mjoin_plan(query), events, workload.window.length)
+        eddy = run_workload(build_eddy_plan(query), events, workload.window.length)
+        ref = result_multiset(xjoin.results.results)
+        assert result_multiset(mjoin.results.results) == ref
+        assert result_multiset(eddy.results.results) == ref
+        # The paper's qualitative claim: M-Join trades memory for CPU.
+        assert mjoin.peak_memory_kb <= xjoin.peak_memory_kb
+
+    def test_experiment_harness_runs_figure_end_to_end(self):
+        result = figure10(scale=0.02, values=(10, 20))
+        assert len(result.points) == 2
+        assert all(s > 0 for s in result.speedups())
+        text = format_figure(result)
+        assert "Figure 10" in text and "speedup" in text
+
+    def test_sweep_and_ablations_smoke(self):
+        points = sweep_parameter(
+            LEFT_DEEP_DEFAULTS, "dmax", (30, 50), shape=PLAN_LEFT_DEEP, scale=0.03
+        )
+        assert len(points) == 2 and all(p.runs[STRATEGY_REF].events > 0 for p in points)
+        detection = detection_mode_ablation(LEFT_DEEP_DEFAULTS.with_overrides(n_sources=3), scale=0.03)
+        assert set(detection) == {"ref", "jit/lattice", "jit/bloom", "jit/empty_only"}
+        styles = plan_style_ablation(LEFT_DEEP_DEFAULTS.with_overrides(n_sources=3), scale=0.03)
+        assert "mjoin" in styles and "eddy" in styles
+        schedulers = scheduler_ablation(LEFT_DEEP_DEFAULTS.with_overrides(n_sources=3), scale=0.03)
+        assert "synchronous" in schedulers and "queued/fifo" in schedulers
+
+    def test_scaled_workload_respects_boost(self):
+        workload = scaled_workload(LEFT_DEEP_DEFAULTS, scale=0.05)
+        assert workload.max_value("D") == 100 * LEFT_DEEP_DEFAULTS.dmax
+        bushy = scaled_workload(BUSHY_DEFAULTS, scale=0.05)
+        assert bushy.max_value("F") == BUSHY_DEFAULTS.dmax
+
+
+# --------------------------------------------------------------------------- property-based
+
+
+@st.composite
+def workload_parameters(draw):
+    """Random small clique workloads that still finish quickly."""
+    return dict(
+        n_sources=draw(st.integers(min_value=2, max_value=4)),
+        rate=draw(st.sampled_from([0.5, 1.0, 2.0])),
+        window_seconds=draw(st.sampled_from([20, 40, 80])),
+        dmax=draw(st.integers(min_value=2, max_value=10)),
+        duration=draw(st.sampled_from([60, 100])),
+        seed=draw(st.integers(min_value=0, max_value=10_000)),
+    )
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(params=workload_parameters(), shape=st.sampled_from([PLAN_LEFT_DEEP, PLAN_BUSHY]))
+    def test_jit_always_matches_ref(self, params, shape):
+        workload = generate_clique_workload(**params)
+        reports = _run_all(workload, shape, (STRATEGY_REF, STRATEGY_JIT))
+        assert result_multiset(reports[STRATEGY_JIT].results.results) == result_multiset(
+            reports[STRATEGY_REF].results.results
+        )
+
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        params=workload_parameters(),
+        detection=st.sampled_from([DetectionMode.LATTICE, DetectionMode.BLOOM, DetectionMode.EMPTY_ONLY]),
+        divert=st.booleans(),
+        propagate=st.booleans(),
+    )
+    def test_any_jit_configuration_matches_ref(self, params, detection, divert, propagate):
+        workload = generate_clique_workload(**params)
+        config = JITConfig(
+            detection_mode=detection,
+            divert_similar_arrivals=divert,
+            propagate_feedback=propagate,
+        )
+        reports = _run_all(workload, PLAN_LEFT_DEEP, (STRATEGY_REF, STRATEGY_JIT), jit_config=config)
+        assert result_multiset(reports[STRATEGY_JIT].results.results) == result_multiset(
+            reports[STRATEGY_REF].results.results
+        )
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(params=workload_parameters())
+    def test_results_are_temporally_ordered(self, params):
+        workload = generate_clique_workload(**params)
+        query = ContinuousQuery.from_workload(workload)
+        plan = build_xjoin_plan(query, shape=PLAN_LEFT_DEEP, strategy=STRATEGY_JIT)
+        report = run_workload(plan, workload.events(), workload.window.length)
+        assert report.results.temporally_ordered
+
+
+class TestPropertyDataStructures:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60))
+    def test_counting_bloom_never_false_negative(self, values):
+        bloom = CountingBloomFilter(num_bits=256, num_hashes=3)
+        for v in values:
+            bloom.add(v)
+        assert all(bloom.might_contain(v) for v in values)
+        for v in values:
+            bloom.remove(v)
+        assert len(bloom) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0, max_value=100), st.integers(0, 5)),
+            min_size=1,
+            max_size=50,
+        ),
+        st.floats(min_value=0, max_value=120),
+    )
+    def test_state_purge_invariant(self, arrivals, horizon):
+        context = ExecutionContext(window=Window(30.0))
+        state = OperatorState("S", context)
+        arrivals = sorted(arrivals, key=lambda a: a[0])
+        for i, (ts, value) in enumerate(arrivals):
+            state.insert(AtomicTuple("A", ts, {"x": value}, seq=i), now=ts)
+        state.purge(horizon)
+        remaining = [e.ts for e in state.probe()]
+        assert all(ts >= horizon for ts in remaining)
+        assert context.memory.current_bytes == sum(e.tuple.size_bytes for e in state.entries())
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        components=st.integers(min_value=1, max_value=4),
+        rows=st.lists(
+            st.lists(st.booleans(), min_size=4, max_size=4), min_size=0, max_size=6
+        ),
+    )
+    def test_lattice_mns_are_minimal_and_unmatched(self, components, rows):
+        names = [f"s{i}" for i in range(components)]
+        lattice = CNSLattice(names)
+        lattice.reset()
+        observations = [dict(zip(names, row[:components])) for row in rows]
+        for row in observations:
+            lattice.observe(row)
+        survivors = lattice.surviving_mns()
+        for mns in survivors:
+            # (1) An MNS never matched any observed tuple (a node matches iff
+            #     all of its components match).
+            for row in observations:
+                assert not all(row[name] for name in mns)
+            # (2) Minimality: no strict subset is also reported.
+            for other in survivors:
+                assert not (other < mns)

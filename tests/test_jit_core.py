@@ -1,0 +1,467 @@
+"""Unit tests for the JIT core: signatures, feedback, lattice, detection,
+MNS buffer, blacklist and production-control helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.context import ExecutionContext
+from repro.core.blacklist import Blacklist, SuspendedTuple
+from repro.core.cns_lattice import CNSLattice
+from repro.core.config import DetectionMode, JITConfig, RetentionPolicy
+from repro.core.feedback import Feedback, FeedbackKind
+from repro.core.mns_buffer import MNSBuffer
+from repro.core.mns_detection import (
+    BloomMNSDetector,
+    EmptyStateDetector,
+    LatticeMNSDetector,
+    build_detector,
+)
+from repro.core.production_control import (
+    SIDE_BOTH,
+    SIDE_EMPTY,
+    SIDE_LEFT,
+    SIDE_RIGHT,
+    classify_signature,
+    split_signature,
+)
+from repro.core.signature import MNSSignature
+from repro.operators.predicates import AttributeRef, EquiJoinCondition
+from repro.streams.tuples import AtomicTuple, join_tuples
+
+from helpers import make_tuple
+
+
+# --------------------------------------------------------------------------- signatures
+
+
+class TestMNSSignature:
+    def test_from_components(self):
+        ab = join_tuples(make_tuple("A", 1.0, x=3, y=9), make_tuple("B", 2.0, z=4))
+        sig = MNSSignature.from_components(ab, ("A",), [("A", "y"), ("B", "z")])
+        assert sig.sources == ("A",)
+        assert sig.items == (("A", "y", 9),)
+        assert sig.ts == ab.ts
+
+    def test_value_based_equality_ignores_ts(self):
+        t1 = make_tuple("A", 1.0, y=9)
+        t2 = make_tuple("A", 5.0, seq=3, y=9)
+        s1 = MNSSignature.from_components(t1, ("A",), [("A", "y")])
+        s2 = MNSSignature.from_components(t2, ("A",), [("A", "y")])
+        assert s1 == s2 and hash(s1) == hash(s2)
+        assert s1.ts != s2.ts
+
+    def test_matches_super_by_value(self):
+        sig = MNSSignature.from_components(make_tuple("A", 1.0, y=9), ("A",), [("A", "y")])
+        similar = make_tuple("A", 7.0, seq=5, y=9)
+        different = make_tuple("A", 7.0, seq=6, y=8)
+        ab = join_tuples(make_tuple("A", 1.0, y=9), make_tuple("B", 2.0, z=1))
+        assert sig.matches_super(similar)
+        assert not sig.matches_super(different)
+        assert sig.matches_super(ab)
+
+    def test_empty_signature_matches_everything(self):
+        empty = MNSSignature.empty(ts=3.0)
+        assert empty.is_empty
+        assert empty.matches_super(make_tuple("Z", 0.0, q=1))
+
+    def test_restrict(self):
+        ac = join_tuples(make_tuple("A", 1.0, x=1), make_tuple("C", 2.0, z=3))
+        sig = MNSSignature.from_components(ac, ("A", "C"), [("A", "x"), ("C", "z")])
+        left = sig.restrict({"A"})
+        assert left.sources == ("A",)
+        assert left.items == (("A", "x", 1),)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MNSSignature(sources=("B", "A"), items=())
+        with pytest.raises(ValueError):
+            MNSSignature(sources=("A",), items=(("B", "x", 1),))
+
+
+# --------------------------------------------------------------------------- feedback
+
+
+class TestFeedback:
+    def _sig(self):
+        return MNSSignature.from_components(make_tuple("A", 1.0, y=9), ("A",), [("A", "y")])
+
+    def test_constructors(self):
+        sig = self._sig()
+        assert Feedback.suspend([sig]).kind == FeedbackKind.SUSPEND
+        assert Feedback.resume([sig]).is_resumption
+        assert Feedback.mark([sig]).is_suspension
+        assert Feedback.unmark([sig]).kind == FeedbackKind.UNMARK
+
+    def test_validation(self):
+        sig = self._sig()
+        with pytest.raises(ValueError):
+            Feedback("bogus", (sig,))
+        with pytest.raises(ValueError):
+            Feedback.suspend([])
+        with pytest.raises(ValueError):
+            Feedback.resume([sig]).__class__(FeedbackKind.RESUME, (sig,), permanent=True)
+
+    def test_split_and_single(self):
+        a = self._sig()
+        b = MNSSignature.from_components(make_tuple("B", 1.0, z=2), ("B",), [("B", "z")])
+        multi = Feedback.suspend([a, b])
+        parts = multi.split()
+        assert len(parts) == 2
+        assert parts[0].single() == a
+        with pytest.raises(ValueError):
+            multi.single()
+
+
+# --------------------------------------------------------------------------- CNS lattice
+
+
+class TestCNSLattice:
+    def test_structure_matches_figure7(self):
+        lattice = CNSLattice(["a", "b", "c", "d"])
+        # 15 non-empty subsets of 4 components (Figure 7 has 16 including Ø).
+        assert lattice.size == 15
+        assert len(lattice.level_nodes(1)) == 4
+        assert len(lattice.level_nodes(2)) == 6
+        node = lattice.node({"a", "b"})
+        assert {tuple(sorted(c.sources))[0] for c in node.children} == {"a", "b"}
+
+    def test_max_level_restriction(self):
+        lattice = CNSLattice(["a", "b", "c"], max_level=1)
+        assert lattice.size == 3
+        assert lattice.level_nodes(2) == []
+
+    def test_identify_mns_semantics(self):
+        # Components a, b; opposite tuples match a only -> b is the single MNS.
+        lattice = CNSLattice(["a", "b"])
+        lattice.reset()
+        lattice.observe({"a": True, "b": False})
+        assert lattice.surviving_mns() == [frozenset({"b"})]
+
+    def test_pair_mns_when_no_single_tuple_matches_both(self):
+        # t'1 matches a only, t'2 matches b only -> ab is the minimal MNS.
+        lattice = CNSLattice(["a", "b"])
+        lattice.reset()
+        lattice.observe({"a": True, "b": False})
+        lattice.observe({"a": False, "b": True})
+        assert lattice.surviving_mns() == [frozenset({"a", "b"})]
+
+    def test_dead_nodes_stay_dead(self):
+        # Paper Section IV-A: once a node dies it stays dead even if a later
+        # tuple does not match it.
+        lattice = CNSLattice(["a", "b"])
+        lattice.reset()
+        lattice.observe({"a": True, "b": True})
+        lattice.observe({"a": False, "b": False})
+        assert lattice.surviving_mns() == []
+
+    def test_minimality_pruning(self):
+        # If a is an MNS, ab must not be reported (not minimal).
+        lattice = CNSLattice(["a", "b"])
+        lattice.reset()
+        lattice.observe({"a": False, "b": True})
+        survivors = lattice.surviving_mns()
+        assert frozenset({"a"}) in survivors
+        assert frozenset({"a", "b"}) not in survivors
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CNSLattice([])
+        with pytest.raises(ValueError):
+            CNSLattice(["a"], max_level=0)
+        with pytest.raises(KeyError):
+            CNSLattice(["a", "b"]).node({"z"})
+
+
+# --------------------------------------------------------------------------- detectors
+
+
+def _abc_conditions():
+    """Conditions of the top join of Figure 1: A.y = C.y and B.z = C.z."""
+    return {
+        "A": (EquiJoinCondition(AttributeRef("A", "y"), AttributeRef("C", "y")),),
+        "B": (EquiJoinCondition(AttributeRef("B", "z"), AttributeRef("C", "z")),),
+    }
+
+
+class TestDetectors:
+    def test_lattice_detector_reports_unmatched_component(self, context):
+        detector = LatticeMNSDetector(
+            ["A", "B"], {"A": [("A", "y")], "B": [("B", "z")]}, context, max_arity=1
+        )
+        ab = join_tuples(make_tuple("A", 1.0, y=9), make_tuple("B", 1.0, z=5))
+        detector.start(ab)
+        detector.observe(ab, {"A": False, "B": True})
+        signatures = detector.finish(ab)
+        assert len(signatures) == 1
+        assert signatures[0].sources == ("A",)
+        assert signatures[0].items == (("A", "y", 9),)
+
+    def test_bloom_detector_no_false_mns(self, context):
+        detector = BloomMNSDetector(
+            ["A", "B"],
+            {"A": [("A", "y")], "B": [("B", "z")]},
+            context,
+            _abc_conditions(),
+            num_bits=512,
+        )
+        c = make_tuple("C", 0.5, y=9, z=5)
+        detector.note_opposite_insert(c)
+        ab_match = join_tuples(make_tuple("A", 1.0, y=9), make_tuple("B", 1.0, z=5))
+        assert detector.finish(ab_match) == []
+        ab_miss = join_tuples(make_tuple("A", 1.0, y=1), make_tuple("B", 1.0, z=5))
+        sigs = detector.finish(ab_miss)
+        assert [s.sources for s in sigs] == [("A",)]
+
+    def test_bloom_detector_tracks_removals(self, context):
+        detector = BloomMNSDetector(
+            ["A"], {"A": [("A", "y")]}, context,
+            {"A": (_abc_conditions()["A"])}, num_bits=512,
+        )
+        c = make_tuple("C", 0.5, y=9, z=5)
+        detector.note_opposite_insert(c)
+        detector.note_opposite_remove(c)
+        ab = join_tuples(make_tuple("A", 1.0, y=9), make_tuple("B", 1.0, z=5))
+        assert len(detector.finish(ab)) == 1
+
+    def test_empty_state_detector_reports_nothing(self, context):
+        detector = EmptyStateDetector(["A"], {"A": [("A", "y")]}, context)
+        ab = join_tuples(make_tuple("A", 1.0, y=9), make_tuple("B", 1.0, z=5))
+        assert detector.finish(ab) == []
+
+    def test_build_detector_modes(self, context):
+        args = (["A"], {"A": [("A", "y")]}, {"A": _abc_conditions()["A"]}, context)
+        assert isinstance(
+            build_detector(JITConfig(), args[0], args[1], args[2], context), LatticeMNSDetector
+        )
+        assert isinstance(
+            build_detector(JITConfig(detection_mode=DetectionMode.BLOOM), *args[:3], context),
+            BloomMNSDetector,
+        )
+        assert isinstance(
+            build_detector(JITConfig(detection_mode=DetectionMode.EMPTY_ONLY), *args[:3], context),
+            EmptyStateDetector,
+        )
+        assert build_detector(JITConfig(detection_mode=DetectionMode.NONE), *args[:3], context) is None
+        assert build_detector(JITConfig(), [], {}, {}, context) is None
+
+
+# --------------------------------------------------------------------------- config
+
+
+class TestJITConfig:
+    def test_presets(self):
+        assert JITConfig.doe().detection_mode == DetectionMode.EMPTY_ONLY
+        assert JITConfig.doe().propagate_empty_suspension
+        assert JITConfig.disabled().detection_mode == DetectionMode.NONE
+        assert JITConfig.paper_default().retention_policy == RetentionPolicy.EXACT
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JITConfig(detection_mode="nope")
+        with pytest.raises(ValueError):
+            JITConfig(retention_policy="sometimes")
+        with pytest.raises(ValueError):
+            JITConfig(max_mns_arity=0)
+        with pytest.raises(ValueError):
+            JITConfig(jit_structure_purge_interval=0)
+
+
+# --------------------------------------------------------------------------- MNS buffer
+
+
+def _y_condition():
+    return (EquiJoinCondition(AttributeRef("A", "y"), AttributeRef("C", "y")),)
+
+
+class TestMNSBuffer:
+    def _buffer(self, context):
+        return MNSBuffer("buf", context, side_sources={"A", "B"}, conditions=_y_condition())
+
+    def _sig(self, y=9, ts=1.0):
+        return MNSSignature.from_components(make_tuple("A", ts, y=y), ("A",), [("A", "y")])
+
+    def test_add_and_match(self, context):
+        buf = self._buffer(context)
+        sig = self._sig(y=9)
+        buf.add(sig, now=1.0)
+        assert sig in buf and len(buf) == 1
+        matching = buf.match(make_tuple("C", 2.0, y=9))
+        assert [e.signature for e in matching] == [sig]
+        assert buf.match(make_tuple("C", 2.0, y=7)) == []
+
+    def test_add_is_idempotent(self, context):
+        buf = self._buffer(context)
+        buf.add(self._sig(), now=1.0)
+        buf.add(self._sig(), now=5.0)
+        assert len(buf) == 1
+
+    def test_remove_releases_memory(self, context):
+        buf = self._buffer(context)
+        sig = self._sig()
+        buf.add(sig, now=1.0)
+        assert context.memory.by_category[MNSBuffer.MEMORY_CATEGORY] > 0
+        buf.remove(sig)
+        assert context.memory.by_category[MNSBuffer.MEMORY_CATEGORY] == 0
+        assert buf.remove(sig) is None
+
+    def test_empty_signature_matches_any_partner(self, context):
+        buf = self._buffer(context)
+        buf.add(MNSSignature.empty(ts=0.0), now=0.0)
+        assert len(buf.match(make_tuple("C", 1.0, y=123))) == 1
+
+    def test_purge_by_liveness(self, context):
+        buf = self._buffer(context)
+        s1, s2 = self._sig(y=1), self._sig(y=2)
+        buf.add(s1, 0.0)
+        buf.add(s2, 0.0)
+        dead = buf.purge(lambda sig: sig == s1)
+        assert [e.signature for e in dead] == [s2]
+        assert len(buf) == 1
+
+    def test_min_active_ts(self, context):
+        buf = self._buffer(context)
+        assert buf.min_active_ts() is None
+        buf.add(self._sig(y=1, ts=5.0), 5.0)
+        buf.add(self._sig(y=2, ts=2.0), 5.0)
+        assert buf.min_active_ts() == 2.0
+
+    def test_blocks_suspension_detects_possible_cycle(self, context):
+        buf = self._buffer(context)
+        buf.add(self._sig(y=9), now=0.0)  # partner requires C.y = 9
+        # A new opposite-side suspension hiding C tuples with y=9 would hide
+        # this MNS's partner -> blocked.
+        assert buf.blocks_suspension({("C", "y"): 9}, {("A", "y"): 1})
+        # One that hides only C.y=5 tuples cannot conflict -> allowed.
+        assert not buf.blocks_suspension({("C", "y"): 5}, {("A", "y"): 1})
+        # The Ø signature (no constraints) is always blocked by a non-empty buffer.
+        assert buf.blocks_suspension({}, {})
+
+
+# --------------------------------------------------------------------------- blacklist
+
+
+class TestBlacklist:
+    def _sig(self, y=9, ts=1.0):
+        return MNSSignature.from_components(make_tuple("A", ts, y=y), ("A",), [("A", "y")])
+
+    def test_add_and_match_arrival(self, context):
+        bl = Blacklist("bl", context)
+        sig = self._sig(y=9)
+        bl.add_suspended(sig, make_tuple("A", 1.0, y=9), joined_upto_seq=3, now=1.0)
+        assert sig in bl and len(bl) == 1
+        similar = make_tuple("A", 5.0, seq=7, y=9)
+        entry = bl.match_arrival(similar)
+        assert entry is not None and entry.signature == sig
+        assert bl.match_arrival(make_tuple("A", 5.0, seq=8, y=1)) is None
+
+    def test_permanent_entries_drop_tuples(self, context):
+        bl = Blacklist("bl", context)
+        sig = self._sig()
+        suspended = bl.add_suspended(sig, make_tuple("A", 1.0, y=9), 0, 1.0, permanent=True)
+        assert suspended is None
+        assert bl.entry(sig).permanent
+
+    def test_pop_entry_releases_memory(self, context):
+        bl = Blacklist("bl", context)
+        sig = self._sig()
+        bl.add_suspended(sig, make_tuple("A", 1.0, y=9), 0, 1.0)
+        assert context.memory.by_category[Blacklist.MEMORY_CATEGORY] > 0
+        entry = bl.pop_entry(sig)
+        assert entry is not None and len(entry.suspended) == 1
+        assert context.memory.by_category[Blacklist.MEMORY_CATEGORY] == 0
+        assert bl.pop_entry(sig) is None
+
+    def test_min_live_ts(self, context):
+        bl = Blacklist("bl", context)
+        assert bl.min_live_ts() is None
+        bl.add_suspended(self._sig(y=1, ts=10.0), make_tuple("A", 12.0, y=1), 0, 12.0)
+        bl.add_suspended(self._sig(y=2, ts=4.0), make_tuple("A", 6.0, y=2), 0, 6.0)
+        assert bl.min_live_ts() == 4.0
+
+    def test_purge_drops_expired(self, context):
+        bl = Blacklist("bl", context)
+        sig = self._sig(ts=0.0)
+        bl.add_suspended(sig, make_tuple("A", 0.0, y=9), 0, 0.0)
+        dropped = bl.purge(now=100.0, retention=50.0)
+        assert dropped == 1
+        assert sig not in bl
+
+    def test_purge_keeps_propagated_entries(self, context):
+        bl = Blacklist("bl", context)
+        sig = self._sig(ts=0.0)
+        entry = bl.ensure_entry(sig, 0.0)
+        entry.propagated_upstream = True
+        bl.purge(now=100.0, retention=50.0)
+        assert sig in bl
+
+    def test_is_alive(self, context):
+        bl = Blacklist("bl", context)
+        sig = self._sig(ts=0.0)
+        bl.add_suspended(sig, make_tuple("A", 0.0, y=9), 0, 0.0)
+        assert bl.is_alive(sig, now=30.0, retention=60.0)
+        assert not bl.is_alive(sig, now=120.0, retention=60.0)
+        assert not bl.is_alive(self._sig(y=5), now=0.0, retention=60.0)
+
+    def test_empty_signature_diverts_everything(self, context):
+        bl = Blacklist("bl", context)
+        bl.ensure_entry(MNSSignature.empty(), now=0.0)
+        assert bl.match_arrival(make_tuple("A", 1.0, y=42)) is not None
+
+    def test_unmet_exceptions(self, context):
+        bl = Blacklist("bl", context)
+        sig = self._sig(y=9)
+        # A suspended tuple that met opposite seqs <= 5 only.
+        bl.add_suspended(sig, make_tuple("A", 1.0, y=9), joined_upto_seq=5, now=1.0, original_seq=2)
+        assert bl.unmet_exceptions_for(3) == frozenset()
+        assert bl.unmet_exceptions_for(9) == frozenset({2})
+
+    def test_suspended_tuple_has_met(self):
+        s = SuspendedTuple(
+            tuple=make_tuple("A", 1.0, y=9),
+            joined_upto_seq=5,
+            suspended_at=1.0,
+            met_seqs=frozenset({8}),
+            unmet_seqs=frozenset({2}),
+        )
+        assert s.has_met(4)
+        assert not s.has_met(2)
+        assert s.has_met(8)
+        assert not s.has_met(9)
+
+
+# --------------------------------------------------------------------------- production control
+
+
+class TestProductionControl:
+    def _sig(self, sources, attrs, tup):
+        return MNSSignature.from_components(tup, sources, attrs)
+
+    def test_classify_type1_and_type2(self):
+        ab = join_tuples(make_tuple("A", 1.0, x=1), make_tuple("B", 1.0, y=2))
+        a_sig = self._sig(("A",), [("A", "x")], ab)
+        assert classify_signature(a_sig, {"A", "B"}, {"C", "D"}) == SIDE_LEFT
+        cd = join_tuples(make_tuple("C", 1.0, z=3), make_tuple("D", 1.0, w=4))
+        d_sig = self._sig(("D",), [("D", "w")], cd)
+        assert classify_signature(d_sig, {"A", "B"}, {"C", "D"}) == SIDE_RIGHT
+        ac = join_tuples(make_tuple("A", 1.0, x=1), make_tuple("C", 1.0, z=3))
+        ac_sig = self._sig(("A", "C"), [("A", "x"), ("C", "z")], ac)
+        assert classify_signature(ac_sig, {"A", "B"}, {"C", "D"}) == SIDE_BOTH
+        assert classify_signature(MNSSignature.empty(), {"A"}, {"B"}) == SIDE_EMPTY
+
+    def test_classify_rejects_unknown_sources(self):
+        sig = self._sig(("A",), [("A", "x")], make_tuple("A", 1.0, x=1))
+        with pytest.raises(ValueError):
+            classify_signature(sig, {"B"}, {"C"})
+
+    def test_split_signature(self):
+        ac = join_tuples(make_tuple("A", 1.0, x=1), make_tuple("C", 1.0, z=3))
+        sig = self._sig(("A", "C"), [("A", "x"), ("C", "z")], ac)
+        left, right = split_signature(sig, {"A", "B"}, {"C", "D"})
+        assert left is not None and left.sources == ("A",)
+        assert right is not None and right.sources == ("C",)
+        only_left, none_right = split_signature(
+            self._sig(("A",), [("A", "x")], make_tuple("A", 1.0, x=1)), {"A"}, {"C"}
+        )
+        assert only_left is not None and none_right is None
+        assert split_signature(MNSSignature.empty(), {"A"}, {"B"}) == (None, None)

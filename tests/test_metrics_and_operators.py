@@ -1,0 +1,487 @@
+"""Unit tests for metrics, predicates, states, Bloom filters, queues and unary operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.context import ExecutionContext
+from repro.metrics import CostKind, CostModel, CostWeights, MemoryModel, MetricsReport
+from repro.operators.aggregate import AggregateFunction, WindowAggregateOperator
+from repro.operators.base import PORT_INPUT, PORT_LEFT, PORT_RIGHT
+from repro.operators.bloom import BloomFilter, CountingBloomFilter
+from repro.operators.join import BinaryJoinOperator, opposite_port
+from repro.operators.predicates import (
+    AttributeCompare,
+    AttributeRef,
+    EquiJoinCondition,
+    JoinPredicate,
+    SelectionPredicate,
+    ThetaJoinCondition,
+)
+from repro.operators.projection import ProjectionOperator
+from repro.operators.queues import InterOperatorQueue
+from repro.operators.selection import SelectionOperator
+from repro.operators.state import OperatorState
+from repro.operators.static_join import StaticJoinOperator
+from repro.streams.time import Window
+from repro.streams.tuples import AtomicTuple, join_tuples
+
+from helpers import make_tuple
+
+
+# --------------------------------------------------------------------------- metrics
+
+
+class TestCostModel:
+    def test_charge_and_weighting(self):
+        cost = CostModel(CostWeights(probe_step=2.0, insert=3.0))
+        cost.charge(CostKind.PROBE_STEP, 5)
+        cost.charge(CostKind.INSERT)
+        assert cost.count(CostKind.PROBE_STEP) == 5
+        assert cost.cpu_units == 5 * 2.0 + 3.0
+
+    def test_unknown_kind_rejected(self):
+        cost = CostModel()
+        with pytest.raises(KeyError):
+            cost.charge("not_a_kind")
+        with pytest.raises(KeyError):
+            CostWeights().weight("not_a_kind")
+
+    def test_reset_and_snapshot(self):
+        cost = CostModel()
+        cost.charge(CostKind.HASH, 3)
+        snap = cost.snapshot()
+        assert snap[CostKind.HASH] == 3
+        cost.reset()
+        assert cost.cpu_units == 0
+
+    def test_wall_clock(self):
+        cost = CostModel()
+        cost.start_wall_clock()
+        cost.stop_wall_clock()
+        assert cost.wall_seconds >= 0.0
+
+    def test_weights_as_dict_covers_all_kinds(self):
+        assert set(CostWeights().as_dict()) == set(CostKind.ALL)
+
+
+class TestMemoryModel:
+    def test_peak_tracking(self):
+        mem = MemoryModel()
+        mem.allocate(100, "state")
+        mem.allocate(50, "queue")
+        mem.release(100, "state")
+        mem.allocate(20, "state")
+        assert mem.current_bytes == 70
+        assert mem.peak_bytes == 150
+        assert mem.peak_by_category["state"] == 100
+
+    def test_underflow_detected(self):
+        mem = MemoryModel()
+        mem.allocate(10)
+        with pytest.raises(RuntimeError):
+            mem.release(20)
+
+    def test_negative_rejected(self):
+        mem = MemoryModel()
+        with pytest.raises(ValueError):
+            mem.allocate(-1)
+
+    def test_report_from_models(self):
+        cost, mem = CostModel(), MemoryModel()
+        cost.charge(CostKind.INSERT, 4)
+        mem.allocate(2048)
+        report = MetricsReport.from_models(cost, mem, results_produced=9)
+        assert report.results_produced == 9
+        assert report.peak_memory_kb == 2.0
+        assert report.counters[CostKind.INSERT] == 4
+
+
+# --------------------------------------------------------------------------- predicates
+
+
+class TestPredicates:
+    def test_equi_condition(self):
+        cond = EquiJoinCondition(AttributeRef("A", "x"), AttributeRef("B", "x"))
+        a = make_tuple("A", 1.0, x=5)
+        b_match = make_tuple("B", 2.0, x=5)
+        b_miss = make_tuple("B", 2.0, x=6)
+        assert cond.evaluate(a, b_match)
+        assert not cond.evaluate(a, b_miss)
+        assert cond.is_equi
+        assert cond.sources == frozenset({"A", "B"})
+        assert cond.ref_for("A").attribute == "x"
+        with pytest.raises(KeyError):
+            cond.ref_for("C")
+
+    def test_condition_rejects_same_source(self):
+        with pytest.raises(ValueError):
+            EquiJoinCondition(AttributeRef("A", "x"), AttributeRef("A", "y"))
+
+    def test_theta_condition(self):
+        cond = ThetaJoinCondition(AttributeRef("A", "x"), AttributeRef("B", "x"), "<")
+        assert cond.evaluate(make_tuple("A", 0, x=1), make_tuple("B", 0, x=2))
+        assert not cond.evaluate(make_tuple("A", 0, x=3), make_tuple("B", 0, x=2))
+        assert not cond.is_equi
+        with pytest.raises(ValueError):
+            ThetaJoinCondition(AttributeRef("A", "x"), AttributeRef("B", "x"), "~")
+
+    def test_join_predicate_between(self):
+        pred = JoinPredicate.equi(
+            [(("A", "x"), ("B", "x")), (("A", "y"), ("C", "y")), (("B", "z"), ("C", "z"))]
+        )
+        assert pred.sources == frozenset({"A", "B", "C"})
+        between = pred.conditions_between({"A", "B"}, {"C"})
+        assert len(between) == 2
+        assert len(pred.conditions_involving("A")) == 2
+        with pytest.raises(ValueError):
+            pred.conditions_between({"A"}, {"A", "B"})
+
+    def test_selection_predicate(self):
+        pred = SelectionPredicate((AttributeCompare(AttributeRef("A", "x"), ">", 10),))
+        assert pred.evaluate(make_tuple("A", 0, x=11))
+        assert not pred.evaluate(make_tuple("A", 0, x=10))
+        assert pred.sources == frozenset({"A"})
+        with pytest.raises(ValueError):
+            SelectionPredicate(())
+        with pytest.raises(ValueError):
+            AttributeCompare(AttributeRef("A", "x"), "??", 1)
+
+
+# --------------------------------------------------------------------------- operator state
+
+
+class TestOperatorState:
+    def test_purge_probe_insert_cycle(self, context):
+        state = OperatorState("S_A", context)
+        for i in range(5):
+            state.insert(make_tuple("A", float(i), seq=i, x=i), now=float(i))
+        assert len(state) == 5
+        removed = state.purge(horizon=2.0)
+        assert [e.tuple.seq for e in removed] == [0, 1]
+        assert len(state) == 3
+        probed = [e.tuple.seq for e in state.probe()]
+        assert probed == [2, 3, 4]
+
+    def test_insertion_order_and_seq(self, context):
+        state = OperatorState("S", context)
+        e1 = state.insert(make_tuple("A", 5.0, seq=0, x=1))
+        e2 = state.insert(make_tuple("A", 1.0, seq=1, x=2))  # older ts, later insert
+        assert (e1.seq, e2.seq) == (0, 1)
+        assert [e.seq for e in state.probe()] == [0, 1]
+
+    def test_reinsert_with_original_seq(self, context):
+        state = OperatorState("S", context)
+        entry = state.insert(make_tuple("A", 1.0, x=1))
+        state.remove_entry(entry)
+        replay = state.insert(entry.tuple, seq=entry.seq)
+        assert replay.seq == entry.seq
+        fresh = state.insert(make_tuple("A", 2.0, seq=9, x=2))
+        assert fresh.seq > replay.seq
+
+    def test_purge_floor_retains_old_entries(self, context):
+        state = OperatorState("S", context)
+        state.insert(make_tuple("A", 0.0, x=1), now=0.0)
+        state.purge_floor = 0.0
+        removed = state.purge(horizon=100.0)
+        assert removed == []
+        state.purge_floor = None
+        assert len(state.purge(horizon=100.0)) == 1
+
+    def test_extract_moves_matching_entries(self, context):
+        state = OperatorState("S", context)
+        for i in range(4):
+            state.insert(make_tuple("A", float(i), seq=i, x=i % 2))
+        removed = state.extract(lambda t: t.get("x") == 0)
+        assert len(removed) == 2
+        assert all(e.removed for e in removed)
+        assert len(state) == 2
+
+    def test_memory_accounting(self, context):
+        state = OperatorState("S", context)
+        t = make_tuple("A", 0.0, x=1)
+        state.insert(t)
+        assert context.memory.current_bytes == t.size_bytes
+        state.purge(horizon=10.0)
+        assert context.memory.current_bytes == 0
+
+    def test_hash_index_probe(self, context):
+        refs = [AttributeRef("A", "x")]
+        state = OperatorState("S", context, key_refs=refs)
+        state.insert(make_tuple("A", 0.0, seq=0, x=7))
+        state.insert(make_tuple("A", 0.0, seq=1, x=8))
+        matches = state.probe_key((7,))
+        assert [e.tuple.get("x") for e in matches] == [7]
+        assert state.key_of(make_tuple("A", 0.0, x=9)) == (9,)
+
+    def test_probe_key_requires_index(self, context):
+        state = OperatorState("S", context)
+        with pytest.raises(RuntimeError):
+            state.probe_key((1,))
+
+    def test_remove_entry_twice_fails(self, context):
+        state = OperatorState("S", context)
+        entry = state.insert(make_tuple("A", 0.0, x=1))
+        state.remove_entry(entry)
+        with pytest.raises(KeyError):
+            state.remove_entry(entry)
+
+    def test_compaction_keeps_live_entries(self, context):
+        state = OperatorState("S", context)
+        entries = [state.insert(make_tuple("A", float(i), seq=i, x=i)) for i in range(100)]
+        state.purge(horizon=90.0)
+        assert len(state) == 10
+        assert [e.tuple.get("x") for e in state.probe()] == list(range(90, 100))
+        del entries
+
+
+# --------------------------------------------------------------------------- bloom filters
+
+
+class TestBloomFilters:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(num_bits=256, num_hashes=3)
+        values = list(range(50))
+        bloom.add_all(values)
+        assert all(bloom.might_contain(v) for v in values)
+
+    def test_definitely_absent_for_fresh_filter(self):
+        bloom = BloomFilter(num_bits=64, num_hashes=2)
+        assert bloom.definitely_absent("anything")
+        bloom.add("anything")
+        assert not bloom.definitely_absent("anything")
+
+    def test_clear(self):
+        bloom = BloomFilter(num_bits=64)
+        bloom.add(1)
+        bloom.clear()
+        assert bloom.definitely_absent(1)
+        assert len(bloom) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=0)
+        with pytest.raises(ValueError):
+            CountingBloomFilter(num_hashes=0)
+
+    def test_counting_filter_supports_removal(self):
+        bloom = CountingBloomFilter(num_bits=128, num_hashes=3)
+        bloom.add("a")
+        bloom.add("a")
+        bloom.remove("a")
+        assert bloom.might_contain("a")
+        bloom.remove("a")
+        assert bloom.definitely_absent("a")
+
+    def test_counting_filter_rejects_unknown_removal(self):
+        bloom = CountingBloomFilter(num_bits=128)
+        with pytest.raises(ValueError):
+            bloom.remove("never added")
+
+    def test_memory_model(self):
+        assert BloomFilter(num_bits=1024).memory_bytes == 128
+        assert CountingBloomFilter(num_bits=1024).memory_bytes == 512
+
+
+# --------------------------------------------------------------------------- queues
+
+
+class TestInterOperatorQueue:
+    def test_fifo_order(self, context):
+        q = InterOperatorQueue("q", context)
+        t1, t2 = make_tuple("A", 1.0, x=1), make_tuple("A", 2.0, x=2)
+        q.push(t1)
+        q.push(t2)
+        assert q.peek() is t1
+        assert q.pop() is t1
+        assert q.pop() is t2
+        assert not q
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_capacity(self, context):
+        q = InterOperatorQueue("q", context, capacity=1)
+        q.push(make_tuple("A", 1.0, x=1))
+        with pytest.raises(OverflowError):
+            q.push(make_tuple("A", 2.0, x=2))
+        with pytest.raises(ValueError):
+            InterOperatorQueue("bad", context, capacity=0)
+
+    def test_memory_accounting(self, context):
+        q = InterOperatorQueue("q", context)
+        t = make_tuple("A", 1.0, x=1)
+        q.push(t)
+        assert context.memory.by_category["queue"] == t.size_bytes
+        q.drain()
+        assert context.memory.by_category["queue"] == 0
+
+    def test_stats(self, context):
+        q = InterOperatorQueue("q", context)
+        for i in range(3):
+            q.push(make_tuple("A", float(i), seq=i, x=i))
+        q.pop()
+        assert q.total_pushed == 3
+        assert q.max_length == 3
+        assert len(q) == 2
+
+
+# --------------------------------------------------------------------------- unary operators
+
+
+def _attach(operator, context):
+    operator.attach(context)
+    collected = []
+    operator.result_sink = collected.append
+    return collected
+
+
+class TestSelectionOperator:
+    def test_filters_tuples(self, context):
+        pred = SelectionPredicate((AttributeCompare(AttributeRef("A", "x"), ">", 5),))
+        op = SelectionOperator("Sel", pred)
+        out = _attach(op, context)
+        context.clock.advance_to(1.0)
+        op.process(make_tuple("A", 1.0, x=10), PORT_INPUT)
+        op.process(make_tuple("A", 1.0, x=3), PORT_INPUT)
+        assert len(out) == 1
+        assert op.passed == 1 and op.rejected == 1
+
+    def test_output_sources_default_to_predicate(self):
+        pred = SelectionPredicate((AttributeCompare(AttributeRef("A", "x"), ">", 5),))
+        assert SelectionOperator("Sel", pred).output_sources() == frozenset({"A"})
+
+
+class TestProjectionOperator:
+    def test_projects_columns(self, context):
+        op = ProjectionOperator("P", [AttributeRef("A", "x"), AttributeRef("B", "y")])
+        out = _attach(op, context)
+        context.clock.advance_to(1.0)
+        ab = join_tuples(make_tuple("A", 1.0, x=3), make_tuple("B", 1.0, y=4))
+        op.process(ab, PORT_INPUT)
+        assert len(out) == 1
+        assert out[0].attrs == {"A_x": 3, "B_y": 4}
+        assert out[0].ts == ab.ts
+
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            ProjectionOperator("P", [])
+
+
+class TestStaticJoinOperator:
+    def _relation(self):
+        return [AtomicTuple("R", 0.0, {"y": v}, seq=i) for i, v in enumerate([1, 2, 3])]
+
+    def test_joins_against_relation(self, context):
+        pred = JoinPredicate.equi([(("A", "y"), ("R", "y"))])
+        op = StaticJoinOperator("SJ", self._relation(), pred, stream_sources={"A"})
+        out = _attach(op, context)
+        context.clock.advance_to(1.0)
+        op.process(make_tuple("A", 1.0, y=2), PORT_INPUT)
+        op.process(make_tuple("A", 1.0, y=9), PORT_INPUT)
+        assert len(out) == 1
+        assert op.matched_inputs == 1 and op.unmatched_inputs == 1
+
+    def test_relation_validation(self):
+        pred = JoinPredicate.equi([(("A", "y"), ("R", "y"))])
+        with pytest.raises(ValueError):
+            StaticJoinOperator("SJ", [], pred, stream_sources={"A"})
+        mixed = [AtomicTuple("R", 0.0, {"y": 1}), AtomicTuple("Q", 0.0, {"y": 1})]
+        with pytest.raises(ValueError):
+            StaticJoinOperator("SJ", mixed, pred, stream_sources={"A"})
+
+
+class TestAggregateOperator:
+    def test_count_over_window(self, context):
+        op = WindowAggregateOperator("agg", AggregateFunction.COUNT, group_ref=AttributeRef("A", "g"))
+        out = _attach(op, context)
+        for i, ts in enumerate([1.0, 2.0, 3.0]):
+            context.clock.advance_to(ts)
+            op.process(make_tuple("A", ts, seq=i, g="grp", v=i), PORT_INPUT)
+        assert op.current_value("grp") == 3
+        assert [t.attrs["value"] for t in out] == [1, 2, 3]
+
+    def test_expiry_reduces_aggregate(self, context):
+        op = WindowAggregateOperator("agg", AggregateFunction.SUM, value_ref=AttributeRef("A", "v"))
+        _attach(op, context)
+        context.clock.advance_to(1.0)
+        op.process(make_tuple("A", 1.0, v=10), PORT_INPUT)
+        context.clock.advance_to(70.0)  # window is 60s -> first tuple expired
+        op.process(make_tuple("A", 70.0, seq=1, v=5), PORT_INPUT)
+        assert op.current_value() == 5
+
+    def test_avg_min_max(self, context):
+        for function, expected in ((AggregateFunction.AVG, 2.0), (AggregateFunction.MIN, 1), (AggregateFunction.MAX, 3)):
+            op = WindowAggregateOperator("agg", function, value_ref=AttributeRef("A", "v"))
+            _attach(op, context)
+            fresh = ExecutionContext(window=Window(60.0))
+            op.attach(fresh)
+            for i, v in enumerate([1, 2, 3]):
+                fresh.clock.advance_to(float(i + 1))
+                op.process(make_tuple("A", float(i + 1), seq=i, v=v), PORT_INPUT)
+            assert op.current_value() == expected
+
+    def test_invalid_function(self):
+        with pytest.raises(ValueError):
+            WindowAggregateOperator("agg", "median", value_ref=AttributeRef("A", "v"))
+        with pytest.raises(ValueError):
+            WindowAggregateOperator("agg", AggregateFunction.SUM)
+
+
+# --------------------------------------------------------------------------- binary join (REF)
+
+
+class TestBinaryJoin:
+    def _join(self, context, use_hash_index=False):
+        pred = JoinPredicate.equi([(("A", "x"), ("B", "x"))])
+        op = BinaryJoinOperator("J", {"A"}, {"B"}, pred, use_hash_index=use_hash_index)
+        out = _attach(op, context)
+        return op, out
+
+    def test_opposite_port(self):
+        assert opposite_port(PORT_LEFT) == PORT_RIGHT
+        assert opposite_port(PORT_RIGHT) == PORT_LEFT
+        with pytest.raises(KeyError):
+            opposite_port("nope")
+
+    def test_basic_join(self, context):
+        op, out = self._join(context)
+        context.clock.advance_to(1.0)
+        op.process(make_tuple("A", 1.0, x=5), PORT_LEFT)
+        context.clock.advance_to(2.0)
+        op.process(make_tuple("B", 2.0, x=5), PORT_RIGHT)
+        context.clock.advance_to(3.0)
+        op.process(make_tuple("B", 3.0, seq=1, x=6), PORT_RIGHT)
+        assert len(out) == 1
+        assert out[0].sources == ("A", "B")
+        assert out[0].ts == 2.0
+
+    def test_hash_index_same_results(self, context):
+        op, out = self._join(context, use_hash_index=True)
+        context.clock.advance_to(1.0)
+        op.process(make_tuple("A", 1.0, x=5), PORT_LEFT)
+        context.clock.advance_to(2.0)
+        op.process(make_tuple("B", 2.0, x=5), PORT_RIGHT)
+        assert len(out) == 1
+
+    def test_window_expiry_prevents_join(self, context):
+        op, out = self._join(context)
+        context.clock.advance_to(0.0)
+        op.process(make_tuple("A", 0.0, x=5), PORT_LEFT)
+        context.clock.advance_to(100.0)  # beyond the 60s window
+        op.process(make_tuple("B", 100.0, x=5), PORT_RIGHT)
+        assert out == []
+        assert op.state_sizes == (0, 1)  # expired A tuple was purged
+
+    def test_input_validation(self):
+        pred = JoinPredicate.equi([(("A", "x"), ("B", "x"))])
+        with pytest.raises(ValueError):
+            BinaryJoinOperator("J", {"A"}, {"A"}, pred)
+        with pytest.raises(ValueError):
+            BinaryJoinOperator("J", set(), {"B"}, pred)
+
+    def test_sources_of_ports(self, context):
+        op, _ = self._join(context)
+        assert op.input_sources(PORT_LEFT) == frozenset({"A"})
+        assert op.output_sources() == frozenset({"A", "B"})
+        with pytest.raises(KeyError):
+            op.input_sources("middle")

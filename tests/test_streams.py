@@ -1,0 +1,364 @@
+"""Unit tests for the stream substrate: time, schema, tuples, sources, generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams.schema import Attribute, SourceSchema, StreamCatalog
+from repro.streams.sources import (
+    PeriodicArrivals,
+    PoissonArrivals,
+    ScriptedArrivals,
+    StreamSource,
+    merge_sources,
+)
+from repro.streams.generators import (
+    CliqueJoinWorkload,
+    UniformValueGenerator,
+    ZipfValueGenerator,
+    generate_clique_workload,
+    source_names,
+)
+from repro.streams.time import SimulationClock, Window, minutes, seconds
+from repro.streams.tuples import AtomicTuple, CompositeTuple, join_tuples
+
+
+# --------------------------------------------------------------------------- time
+
+
+class TestWindow:
+    def test_minutes_conversion(self):
+        assert minutes(5) == 300.0
+        assert seconds(42) == 42.0
+
+    def test_from_minutes(self):
+        assert Window.from_minutes(5).length == 300.0
+
+    def test_rejects_non_positive_length(self):
+        with pytest.raises(ValueError):
+            Window(0)
+        with pytest.raises(ValueError):
+            Window(-1)
+
+    def test_contains_and_expired(self):
+        w = Window(10)
+        assert w.contains(0.0, 5.0)
+        assert not w.contains(0.0, 10.0)
+        assert w.expired(0.0, 10.0)
+        assert not w.expired(0.0, 9.999)
+
+    def test_expiry_and_horizon(self):
+        w = Window(10)
+        assert w.expiry(3.0) == 13.0
+        assert w.purge_horizon(25.0) == 15.0
+
+    def test_joinable_is_symmetric(self):
+        w = Window(10)
+        assert w.joinable(0.0, 10.0)
+        assert w.joinable(10.0, 0.0)
+        assert not w.joinable(0.0, 10.5)
+
+
+class TestSimulationClock:
+    def test_advances_forward(self):
+        clock = SimulationClock()
+        assert clock.advance_to(1.5) == 1.5
+        assert clock.advance_to(1.5) == 1.5
+        assert clock.advance_to(2.0) == 2.0
+
+    def test_rejects_backwards_movement(self):
+        clock = SimulationClock()
+        clock.advance_to(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+
+    def test_reset(self):
+        clock = SimulationClock()
+        clock.advance_to(5.0)
+        clock.reset()
+        assert clock.now == 0.0
+        clock.advance_to(1.0)
+
+
+# --------------------------------------------------------------------------- schema
+
+
+class TestSchema:
+    def test_attribute_validation(self):
+        with pytest.raises(ValueError):
+            Attribute("")
+        with pytest.raises(ValueError):
+            Attribute("x", size_bytes=0)
+
+    def test_schema_of(self):
+        schema = SourceSchema.of("A", ["x1", "x2"])
+        assert schema.attribute_names == ("x1", "x2")
+        assert schema.has_attribute("x1")
+        assert not schema.has_attribute("zz")
+        assert schema.attribute("x2").name == "x2"
+        with pytest.raises(KeyError):
+            schema.attribute("zz")
+
+    def test_schema_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            SourceSchema("A", (Attribute("x"), Attribute("x")))
+
+    def test_tuple_size(self):
+        schema = SourceSchema.of("A", ["x1", "x2"])
+        assert schema.tuple_size_bytes == 16 + 16
+
+    def test_catalog(self):
+        catalog = StreamCatalog.from_schemas(
+            [SourceSchema.of("A", ["x"]), SourceSchema.of("B", ["y"])]
+        )
+        assert len(catalog) == 2
+        assert "A" in catalog and "C" not in catalog
+        assert catalog.source_names == ["A", "B"]
+        catalog.validate_reference("A", "x")
+        with pytest.raises(KeyError):
+            catalog.validate_reference("A", "y")
+        with pytest.raises(KeyError):
+            catalog.schema("C")
+
+    def test_catalog_conflicting_registration(self):
+        catalog = StreamCatalog()
+        catalog.register(SourceSchema.of("A", ["x"]))
+        catalog.register(SourceSchema.of("A", ["x"]))  # identical is fine
+        with pytest.raises(ValueError):
+            catalog.register(SourceSchema.of("A", ["y"]))
+
+
+# --------------------------------------------------------------------------- tuples
+
+
+class TestTuples:
+    def test_atomic_tuple_basics(self):
+        t = AtomicTuple("A", 3.0, {"x": 1, "y": 2}, seq=5)
+        assert t.sources == ("A",)
+        assert t.components == (t,)
+        assert t.value("A", "x") == 1
+        assert t.get("y") == 2
+        assert t.get("zz", -1) == -1
+        assert t.covers("A") and not t.covers("B")
+        assert t.expires_at(10.0) == 13.0
+
+    def test_atomic_tuple_errors(self):
+        t = AtomicTuple("A", 3.0, {"x": 1})
+        with pytest.raises(KeyError):
+            t.value("B", "x")
+        with pytest.raises(KeyError):
+            t.value("A", "nope")
+        with pytest.raises(ValueError):
+            AtomicTuple("", 0.0, {})
+
+    def test_atomic_equality_and_hash(self):
+        a = AtomicTuple("A", 1.0, {"x": 1}, seq=0)
+        b = AtomicTuple("A", 1.0, {"x": 1}, seq=0)
+        c = AtomicTuple("A", 1.0, {"x": 2}, seq=0)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_composite_from_join(self):
+        a = AtomicTuple("A", 1.0, {"x": 1})
+        b = AtomicTuple("B", 2.0, {"x": 1})
+        ab = join_tuples(a, b)
+        assert isinstance(ab, CompositeTuple)
+        assert ab.sources == ("A", "B")
+        assert ab.ts == 2.0
+        assert ab.component("A") is a
+        assert ab.value("B", "x") == 1
+        assert ab.covers("A") and not ab.covers("C")
+
+    def test_composite_timestamp_is_max(self):
+        a = AtomicTuple("A", 5.0, {"x": 1})
+        b = AtomicTuple("B", 2.0, {"x": 1})
+        assert join_tuples(a, b).ts == 5.0
+
+    def test_join_rejects_overlap(self):
+        a1 = AtomicTuple("A", 1.0, {"x": 1}, seq=0)
+        a2 = AtomicTuple("A", 2.0, {"x": 2}, seq=1)
+        with pytest.raises(ValueError):
+            join_tuples(a1, a2)
+
+    def test_composite_order_independent_equality(self):
+        a = AtomicTuple("A", 1.0, {"x": 1})
+        b = AtomicTuple("B", 2.0, {"x": 1})
+        c = AtomicTuple("C", 3.0, {"y": 1})
+        left_first = join_tuples(join_tuples(a, b), c)
+        right_first = join_tuples(a, join_tuples(b, c))
+        assert left_first == right_first
+        assert hash(left_first) == hash(right_first)
+
+    def test_contains_sub_tuple(self):
+        a = AtomicTuple("A", 1.0, {"x": 1})
+        b = AtomicTuple("B", 2.0, {"x": 1})
+        ab = join_tuples(a, b)
+        assert ab.contains(a)
+        assert ab.contains(ab)
+        other_a = AtomicTuple("A", 1.0, {"x": 9}, seq=7)
+        assert not ab.contains(other_a)
+
+    def test_composite_needs_two_components(self):
+        with pytest.raises(ValueError):
+            CompositeTuple([AtomicTuple("A", 1.0, {"x": 1})])
+
+
+# --------------------------------------------------------------------------- sources
+
+
+class TestArrivalProcesses:
+    def test_poisson_rate_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0)
+
+    def test_poisson_rough_rate(self):
+        import random
+
+        arrivals = list(PoissonArrivals(2.0).timestamps(1000.0, random.Random(1)))
+        assert 1600 < len(arrivals) < 2400
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= t < 1000 for t in arrivals)
+
+    def test_periodic(self):
+        import random
+
+        arrivals = list(PeriodicArrivals(2.0, offset=1.0).timestamps(10.0, random.Random(0)))
+        assert arrivals == [1.0, 3.0, 5.0, 7.0, 9.0]
+        with pytest.raises(ValueError):
+            PeriodicArrivals(0)
+
+    def test_scripted(self):
+        import random
+
+        arrivals = list(ScriptedArrivals([0.5, 2.0, 9.0]).timestamps(5.0, random.Random(0)))
+        assert arrivals == [0.5, 2.0]
+        with pytest.raises(ValueError):
+            ScriptedArrivals([2.0, 1.0])
+
+
+class TestStreamSource:
+    def _source(self, seed: int = 1) -> StreamSource:
+        return StreamSource(
+            schema=SourceSchema.of("A", ["x"]),
+            arrivals=PeriodicArrivals(1.0),
+            value_generator=UniformValueGenerator(high=5),
+            seed=seed,
+        )
+
+    def test_events_are_deterministic(self):
+        s = self._source()
+        first = s.events(10.0)
+        second = s.events(10.0)
+        assert [e.tuple.attrs for e in first] == [e.tuple.attrs for e in second]
+        assert [e.ts for e in first] == [e.ts for e in second]
+
+    def test_sequences_increase(self):
+        events = self._source().events(5.0)
+        assert [e.tuple.seq for e in events] == list(range(len(events)))
+
+    def test_merge_sources_is_time_ordered(self):
+        a = self._source(seed=1)
+        b = StreamSource(
+            schema=SourceSchema.of("B", ["y"]),
+            arrivals=PeriodicArrivals(0.7),
+            value_generator=UniformValueGenerator(high=5),
+            seed=2,
+        )
+        merged = merge_sources([a, b], 10.0)
+        assert [e.ts for e in merged] == sorted(e.ts for e in merged)
+        assert {e.source for e in merged} == {"A", "B"}
+
+    def test_incomplete_value_generator_is_rejected(self):
+        source = StreamSource(
+            schema=SourceSchema.of("A", ["x", "y"]),
+            arrivals=PeriodicArrivals(1.0),
+            value_generator=lambda rng, schema: {"x": 1},
+            seed=0,
+        )
+        with pytest.raises(ValueError):
+            source.events(3.0)
+
+
+# --------------------------------------------------------------------------- generators
+
+
+class TestValueGenerators:
+    def test_uniform_range(self):
+        import random
+
+        gen = UniformValueGenerator(high=3)
+        rng = random.Random(0)
+        schema = SourceSchema.of("A", ["x", "y"])
+        for _ in range(50):
+            values = gen(rng, schema)
+            assert set(values) == {"x", "y"}
+            assert all(1 <= v <= 3 for v in values.values())
+        with pytest.raises(ValueError):
+            UniformValueGenerator(high=0)
+
+    def test_zipf_skews_to_small_values(self):
+        import random
+
+        gen = ZipfValueGenerator(high=10, exponent=1.5)
+        rng = random.Random(0)
+        schema = SourceSchema.of("A", ["x"])
+        draws = [gen(rng, schema)["x"] for _ in range(300)]
+        assert all(1 <= v <= 10 for v in draws)
+        assert draws.count(1) > draws.count(10)
+
+
+class TestCliqueWorkload:
+    def test_source_names(self):
+        assert source_names(3) == ("A", "B", "C")
+        assert len(source_names(30)) == 30
+        with pytest.raises(ValueError):
+            source_names(0)
+
+    def test_pair_columns_count(self):
+        wl = generate_clique_workload(4, 1.0, 60, 10, 10)
+        assert len(wl.pair_columns) == 6
+        assert wl.columns_of("A") == ("x1", "x2", "x3")
+        assert wl.columns_of("D") == ("x3", "x5", "x6")
+
+    def test_equi_join_conditions_match_paper_example(self):
+        wl = generate_clique_workload(4, 1.0, 60, 10, 10)
+        conditions = wl.equi_join_conditions()
+        assert (("A", "x1"), ("B", "x1")) in conditions
+        assert (("C", "x6"), ("D", "x6")) in conditions
+        assert len(conditions) == 6
+
+    def test_catalog_and_events(self):
+        wl = generate_clique_workload(3, 2.0, 30, 5, 20, seed=3)
+        catalog = wl.catalog()
+        assert catalog.source_names == ["A", "B", "C"]
+        events = wl.events()
+        assert events == wl.events()  # deterministic replay
+        assert all(e.ts < 20 for e in events)
+        assert {e.source for e in events} == {"A", "B", "C"}
+
+    def test_value_range_override(self):
+        wl = generate_clique_workload(
+            3, 1.0, 30, 5, 60, seed=1, value_range_overrides={"C": 500}
+        )
+        assert wl.max_value("C") == 500
+        assert wl.max_value("A") == 5
+        c_values = [
+            v
+            for e in wl.events()
+            if e.source == "C"
+            for v in e.tuple.attrs.values()
+        ]
+        assert max(c_values) > 5  # overridden range actually used
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_clique_workload(1, 1.0, 30, 5, 10)
+        with pytest.raises(ValueError):
+            generate_clique_workload(3, 1.0, 30, 0, 10)
+        with pytest.raises(ValueError):
+            CliqueJoinWorkload(3, 1.0, Window(30), 5, 10, value_range_overrides={"Z": 9})
+
+    def test_describe_mentions_parameters(self):
+        wl = generate_clique_workload(3, 1.0, 30, 5, 10, seed=7)
+        text = wl.describe()
+        assert "N=3" in text and "dmax=5" in text and "seed=7" in text

@@ -14,12 +14,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, List, Optional
 
 from repro.metrics import CostModel, MemoryModel
 from repro.streams.time import SimulationClock, Window
 
-__all__ = ["ExecutionContext"]
+__all__ = ["ExecutionContext", "FeedbackListener"]
+
+#: Callback ``(producer, consumer, kind)`` invoked whenever a JIT feedback
+#: message is delivered; ``kind`` is a :class:`~repro.core.feedback.FeedbackKind`
+#: constant.  Operator types are untyped here to avoid an import cycle.
+FeedbackListener = Callable[[object, object, str], None]
 
 
 @dataclass
@@ -49,14 +54,39 @@ class ExecutionContext:
     cost: CostModel = field(default_factory=CostModel)
     memory: MemoryModel = field(default_factory=MemoryModel)
     rng: random.Random = field(default_factory=lambda: random.Random(0))
+    #: Observers of the feedback flow (Section III-B): the queued engine
+    #: registers its scheduler here so policies like ``jit_aware`` can boost
+    #: the producer that just received a resumption.  Feedback itself remains
+    #: a synchronous method call between operators; listeners only watch.
+    feedback_listeners: List[FeedbackListener] = field(default_factory=list)
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self.clock.now
 
+    def add_feedback_listener(self, listener: FeedbackListener) -> None:
+        """Register a feedback observer (idempotent per listener identity)."""
+        if listener not in self.feedback_listeners:
+            self.feedback_listeners.append(listener)
+
+    def notify_feedback(self, producer: object, consumer: object, kind: str) -> None:
+        """Tell every registered listener that feedback was delivered.
+
+        Called by the operator receiving the message (the *producer* in the
+        paper's terminology), so every delivery path — direct sends,
+        upstream propagation, cancellation resumes — is observed exactly once.
+        """
+        for listener in self.feedback_listeners:
+            listener(producer, consumer, kind)
+
     def reset(self) -> None:
-        """Reset clock and metrics (used between experiment runs)."""
+        """Reset clock, metrics and listeners (used between experiment runs).
+
+        Feedback listeners are cleared because they belong to the engine of
+        one run; the next run's engine re-registers its own scheduler.
+        """
         self.clock.reset()
         self.cost.reset()
         self.memory.reset()
+        self.feedback_listeners.clear()

@@ -37,6 +37,22 @@ Implementation notes (all recorded in DESIGN.md):
   a plan-depth-aware horizon under the EXACT retention policy.
 * MNS detection for ``t`` is finalized only after resumed partial results
   have been appended, so they count as join partners.
+* The MNS-buffer resumption probe (Process_Input lines 4-9) runs *before*
+  the producer-side diversion check: an arrival that is about to be parked
+  is still the proof that a missing partner exists, and skipping the probe
+  would strand the suspended tuples upstream forever (results would be
+  silently lost).  When the arrival is then diverted, the resumed partials
+  are restored into the opposite state without being joined — the parked
+  arrival replays later with an empty watermark and joins them exactly once.
+* Indexed probe paths: with ``use_hash_index`` and all-equi local
+  conditions, probes that need no MNS detection (source-fed ports under the
+  default configuration, and every ``_join_resumed`` replay) look up the
+  opposite state's hash index on the equi-join key instead of scanning it.
+  Entries with a different key cannot satisfy the conditions, so the result
+  set is REF-identical; mid-probe suspension watermarks stay exact because
+  unscanned entries can never join the in-flight tuple either.  Probes that
+  feed the MNS detector keep the nested loop — detection needs
+  per-component outcomes for every opposite tuple.
 """
 
 from __future__ import annotations
@@ -217,32 +233,31 @@ class JITJoinOperator(BinaryJoinOperator):
         self._update_purge_floors()
         self.purge(now)
 
+        # Lines 4-9: probe the opposite MNS buffer and send resumption feedback.
+        # This must happen *before* the producer-side diversion check below:
+        # even when ``t`` itself is about to be parked, it is still the
+        # arrival that proves a missing partner exists, and suppressing the
+        # resumption would strand the suspended tuples upstream forever.
+        opposite_producer = self.producer_of(opp)
+        resume_feedback = self._probe_mns_buffer(tup, opp)
+
         # Producer-side diversion: a new arrival similar to a suspended MNS is
         # parked (or dropped, for permanent suspensions) without any probing.
         if self.config.divert_similar_arrivals and len(self.blacklists[port]):
             entry = self.blacklists[port].match_arrival(tup)
             if entry is not None:
                 self.stats["tuples_diverted"] += 1
+                if resume_feedback is not None:
+                    # The resumed partials still belong in the opposite state.
+                    # ``t`` is parked with an empty watermark, so its eventual
+                    # replay joins them exactly once — emitting here would
+                    # double-count.
+                    self._restore_resumed(opposite_producer, resume_feedback, port, now)
                 if not entry.permanent:
                     self.blacklists[port].add_suspended(
                         entry.signature, tup, joined_upto_seq=-1, now=now
                     )
                 return
-
-        # Lines 4-9: probe the opposite MNS buffer and send resumption feedback.
-        resume_feedback: Optional[Feedback] = None
-        opposite_producer = self.producer_of(opp)
-        if len(self.mns_buffers[opp]) and opposite_producer is not None:
-            matched = self.mns_buffers[opp].match(tup)
-            if matched and opposite_producer.supports_production_control():
-                signatures = []
-                for entry in matched:
-                    self.mns_buffers[opp].remove(entry.signature)
-                    signatures.append(entry.signature)
-                resume_feedback = Feedback.resume(tuple(signatures))
-                context.cost.charge(CostKind.FEEDBACK_MESSAGE)
-                self.stats["resumptions_sent"] += 1
-                opposite_producer.handle_feedback(resume_feedback, self)
 
         # Line 13 (hoisted): insert t into its own state.  Doing this before
         # the probe does not change which results are produced but makes the
@@ -288,10 +303,18 @@ class JITJoinOperator(BinaryJoinOperator):
         detector: Optional[MNSDetector],
         probe: _ActiveProbe,
     ) -> int:
-        """Nested-loop probe of the opposite state, feeding the MNS detector.
+        """Probe the opposite state, feeding the MNS detector when one is given.
 
         Returns the number of live opposite tuples scanned (0 means the
         opposite state was effectively empty — the Ø case).
+
+        When the operator keeps hash indexes (``use_hash_index``) and no MNS
+        detection is required for this probe, the scan is replaced by an
+        index lookup on the equi-join key: only key-equal entries are
+        visited, which is REF-equivalent because entries with a different
+        key can never satisfy the (all-equi) local conditions.  Detection
+        needs per-component match outcomes for *every* opposite tuple, so
+        detecting probes always use the nested loop.
         """
         context = self.require_context()
         window = context.window
@@ -302,9 +325,13 @@ class JITJoinOperator(BinaryJoinOperator):
         live_after = window.purge_horizon(now)
         floor_active = opposite_state.purge_floor is not None
         if detector is not None:
+            # Detection needs every opposite tuple, never the index.
             detector.start(tup)
+            candidates: Iterable[StateEntry] = opposite_state.probe()
+        else:
+            candidates = self.probe_candidates(tup, opp)
         scanned = 0
-        for entry in opposite_state.probe():
+        for entry in candidates:
             if entry.removed:
                 continue
             if floor_active and entry.ts < live_after:
@@ -398,8 +425,15 @@ class JITJoinOperator(BinaryJoinOperator):
         """Collect detected MNSs, buffer them and send suspension feedback."""
         context = self.require_context()
         opp = opposite_port(port)
+        opposite_state = self.states[opp]
+        # The probe only sees entries at or above the live horizon while a
+        # purge floor retains expired tuples, so the Ø test must ask for
+        # *live* emptiness — retained-but-expired tuples do not count.
+        live_after = (
+            context.window.purge_horizon(now) if opposite_state.purge_floor is not None else None
+        )
         signatures: List[MNSSignature]
-        if live_scanned == 0 and self.states[opp].is_empty:
+        if live_scanned == 0 and not opposite_state.has_live(live_after):
             # Figure 8, line 2: the opposite state is empty, Ø is the only MNS.
             signatures = [MNSSignature.empty(ts=tup.ts)]
         elif detector is not None:
@@ -429,15 +463,72 @@ class JITJoinOperator(BinaryJoinOperator):
             new_signatures.append(signature)
         if not new_signatures:
             return
+        self._send_feedback(own_producer, Feedback.suspend(tuple(new_signatures)))
+
+    # ------------------------------------------------------------------ feedback plumbing
+
+    def _probe_mns_buffer(self, tup: StreamTuple, opp: str) -> Optional[Feedback]:
+        """Process_Input lines 4-9: match ``tup`` against the opposite MNS
+        buffer and send one resumption for everything it matched.
+
+        Matched entries are removed from the buffer *before* the feedback is
+        sent, so re-entrant arrivals produced by the resumption cannot
+        trigger it again.  Returns the sent feedback (to pass to
+        :meth:`Operator.produce_suspended`), or None when nothing matched.
+        """
+        opposite_producer = self.producer_of(opp)
+        if not len(self.mns_buffers[opp]) or opposite_producer is None:
+            return None
+        matched = self.mns_buffers[opp].match(tup)
+        if not matched or not opposite_producer.supports_production_control():
+            return None
+        signatures = []
+        for entry in matched:
+            self.mns_buffers[opp].remove(entry.signature)
+            signatures.append(entry.signature)
+        feedback = Feedback.resume(tuple(signatures))
+        self._send_feedback(opposite_producer, feedback)
+        return feedback
+
+    def _send_feedback(self, target: Operator, feedback: Feedback) -> None:
+        """Send ``feedback`` to ``target``, with cost and per-signature stats.
+
+        Sent counters are incremented once per MNS signature — the same
+        granularity :meth:`handle_feedback` uses for the received counters —
+        so a loopback over any chain of JIT operators satisfies
+        ``sent == received`` for both suspensions and resumptions.
+        """
+        context = self.require_context()
         context.cost.charge(CostKind.FEEDBACK_MESSAGE)
-        self.stats["suspensions_sent"] += 1
-        own_producer.handle_feedback(Feedback.suspend(tuple(new_signatures)), self)
+        if feedback.kind == FeedbackKind.SUSPEND:
+            self.stats["suspensions_sent"] += len(feedback.signatures)
+        elif feedback.kind == FeedbackKind.RESUME:
+            self.stats["resumptions_sent"] += len(feedback.signatures)
+        target.handle_feedback(feedback, self)
+
+    def _restore_resumed(
+        self, producer: Operator, resume_feedback: Feedback, port: str, now: float
+    ) -> None:
+        """Append resumed partials to the opposite state without joining them.
+
+        Used when the triggering arrival was itself diverted: its blacklist
+        replay will join the partials later, so they only need to be restored
+        into the state (and the detectors' Bloom filters) here.
+        """
+        opposite_state = self.states[opposite_port(port)]
+        port_detector = self.detectors[port]
+        for partial in producer.produce_suspended(resume_feedback):
+            opposite_state.insert(partial, now)
+            if port_detector is not None:
+                port_detector.note_opposite_insert(partial)
 
     # ------------------------------------------------------------------ producer side
 
     def handle_feedback(self, feedback: Feedback, from_consumer: Operator) -> None:
         """``Handle_Feedback`` (Figure 6): propagate, then adjust production."""
-        now = self.require_context().now
+        context = self.require_context()
+        now = context.now
+        context.notify_feedback(self, from_consumer, feedback.kind)
         for single in feedback.split():
             signature = single.single()
             if single.kind == FeedbackKind.SUSPEND:
@@ -551,8 +642,7 @@ class JITJoinOperator(BinaryJoinOperator):
         upstream = self.producer_of(port)
         if upstream is None or not upstream.supports_production_control():
             return
-        self.require_context().cost.charge(CostKind.FEEDBACK_MESSAGE)
-        upstream.handle_feedback(feedback, self)
+        self._send_feedback(upstream, feedback)
 
     # -- resumption ----------------------------------------------------------------
 
@@ -579,8 +669,7 @@ class JITJoinOperator(BinaryJoinOperator):
             upstream = self.producer_of(port)
             if upstream is not None and upstream.supports_production_control():
                 resume = Feedback.resume((signature,))
-                self.require_context().cost.charge(CostKind.FEEDBACK_MESSAGE)
-                upstream.handle_feedback(resume, self)
+                self._send_feedback(upstream, resume)
                 upstream_new = upstream.produce_suspended(resume)
 
         if entry is not None:
@@ -611,8 +700,7 @@ class JITJoinOperator(BinaryJoinOperator):
                 upstream = self.producer_of(port)
                 if upstream is not None and upstream.supports_production_control():
                     resume = Feedback.resume((signature,))
-                    self.require_context().cost.charge(CostKind.FEEDBACK_MESSAGE)
-                    upstream.handle_feedback(resume, self)
+                    self._send_feedback(upstream, resume)
                     upstream_new = upstream.produce_suspended(resume)
             backlog: List[Tuple[float, object]] = []
             if entry is not None:
@@ -651,13 +739,30 @@ class JITJoinOperator(BinaryJoinOperator):
         The tuple is re-inserted into its own state afterwards — under its
         original sequence number when it had one — so later arrivals and
         later resumptions on the other side treat it consistently.
+
+        With ``use_hash_index`` the partner scan becomes an index lookup on
+        the equi-join key, combined with the same watermark / met-sequence
+        filters as the nested loop; entries with a different key would fail
+        the equi conditions anyway, so skipping them is REF-equivalent.
+
+        Like a fresh arrival, the replayed tuple first probes the opposite
+        MNS buffer (Process_Input lines 4-9): re-entering the state makes it
+        the missing partner of any suspension it matches, and skipping the
+        probe would strand those suspended tuples upstream forever.  Partials
+        pulled by such a resumption are inserted *before* the partner scan —
+        their fresh sequence numbers pass the watermark filters, so the
+        replayed tuple joins them exactly once during the scan.
         """
         context = self.require_context()
         window = context.window
         opp = opposite_port(port)
         opposite_state = self.states[opp]
+        resume_feedback = self._probe_mns_buffer(tup, opp)
+        if resume_feedback is not None:
+            self._restore_resumed(self.producer_of(opp), resume_feedback, port, now)
         produced: List[StreamTuple] = []
-        for entry in opposite_state.probe():
+        candidates = self.probe_candidates(tup, opp)
+        for entry in candidates:
             if entry.removed or entry.seq in met_seqs:
                 continue
             if entry.seq <= watermark and entry.seq not in unmet_seqs:
@@ -730,8 +835,7 @@ class JITJoinOperator(BinaryJoinOperator):
                 if not producer.supports_production_control():
                     continue
                 cancel = Feedback.resume((entry.signature,))
-                context.cost.charge(CostKind.FEEDBACK_MESSAGE)
-                producer.handle_feedback(cancel, self)
+                self._send_feedback(producer, cancel)
                 for partial in producer.produce_suspended(cancel):
                     self.states[port].insert(partial, now)
                     opp_detector = self.detectors[opposite_port(port)]

@@ -6,12 +6,19 @@
   queued mode with a pluggable operator scheduler (Section III-B).
 """
 
-from repro.engine.engine import ExecutionEngine, ExecutionMode, RunReport, run_workload
+from repro.engine.engine import (
+    ExecutionEngine,
+    ExecutionMode,
+    ReadyStrategy,
+    RunReport,
+    run_workload,
+)
 from repro.engine.results import ResultCollector, result_key, result_multiset
 
 __all__ = [
     "ExecutionEngine",
     "ExecutionMode",
+    "ReadyStrategy",
     "RunReport",
     "run_workload",
     "ResultCollector",

@@ -14,11 +14,34 @@ discusses in Section III-B:
   as the paper requires, but ordinary tuples flow through queues.
 
 Both modes must — and, per the test suite, do — produce the same result set.
+
+Queued-mode hot-path design:
+
+* **Incremental ready-set.**  The drain loop used to rebuild the list of
+  runnable inputs by scanning *every* queue per scheduling step (O(queues)
+  per tuple).  Queues now carry a readiness listener that fires on their
+  empty<->non-empty transitions, and the engine folds those transitions into
+  a ready-set keyed by (operator, port); each step only sorts the currently
+  ready inputs by their stable registration index, so scheduling work is
+  proportional to the number of runnable inputs, not to plan size.  The
+  registration index reproduces the scan order of the old rescan loop, which
+  keeps FIFO tie-breaking (and therefore result order) identical.
+* **Feedback-aware scheduling.**  The engine registers its scheduler as a
+  feedback listener on the execution context; operators notify the context
+  whenever a suspension/resumption message is delivered, which lets
+  ``jit_aware`` apply the paper's Section III-B priority boosts.
+* **Micro-batch ingestion.**  :meth:`ExecutionEngine.process_batch` accepts
+  a group of same-timestamp arrivals and amortizes the clock advance and the
+  drain loop across the group; :meth:`ExecutionEngine.run_batch` segments an
+  event sequence into such groups.  Same-timestamp window joins commute, so
+  the result multiset is unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from itertools import groupby
+from operator import attrgetter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.context import ExecutionContext
@@ -30,7 +53,10 @@ from repro.plans.plan import ExecutionPlan
 from repro.scheduler import OperatorScheduler, ReadyInput, build_scheduler
 from repro.streams.sources import StreamEvent
 
-__all__ = ["ExecutionMode", "RunReport", "ExecutionEngine", "run_workload"]
+__all__ = ["ExecutionMode", "ReadyStrategy", "RunReport", "ExecutionEngine", "run_workload"]
+
+#: Sort key presenting ready inputs in stable registration order.
+_BY_ORDER = attrgetter("order")
 
 
 class ExecutionMode:
@@ -40,6 +66,19 @@ class ExecutionMode:
     QUEUED = "queued"
 
     ALL = (SYNCHRONOUS, QUEUED)
+
+
+class ReadyStrategy:
+    """How the queued engine discovers runnable inputs."""
+
+    #: Maintain the ready-set incrementally from queue transitions (default).
+    INCREMENTAL = "incremental"
+    #: Rebuild the ready list by scanning every queue per step.  Kept as an
+    #: explicit baseline so ``benchmarks/bench_throughput.py`` can quantify
+    #: the difference; behaviour is identical.
+    RESCAN = "rescan"
+
+    ALL = (INCREMENTAL, RESCAN)
 
 
 @dataclass
@@ -92,6 +131,9 @@ class ExecutionEngine:
     keep_results:
         Whether result tuples are retained (disable for very long benchmark
         runs where only counts and costs matter).
+    ready_strategy:
+        Queued mode only: :class:`ReadyStrategy` constant selecting how
+        runnable inputs are discovered (incremental ready-set by default).
     """
 
     def __init__(
@@ -101,21 +143,31 @@ class ExecutionEngine:
         mode: str = ExecutionMode.SYNCHRONOUS,
         scheduler: Optional[OperatorScheduler] = None,
         keep_results: bool = True,
+        ready_strategy: str = ReadyStrategy.INCREMENTAL,
     ) -> None:
         if mode not in ExecutionMode.ALL:
             raise ValueError(f"unknown execution mode {mode!r}; expected one of {ExecutionMode.ALL}")
+        if ready_strategy not in ReadyStrategy.ALL:
+            raise ValueError(
+                f"unknown ready strategy {ready_strategy!r}; expected one of {ReadyStrategy.ALL}"
+            )
         self.plan = plan
         self.context = context
         self.mode = mode
         self.scheduler = scheduler or build_scheduler("fifo")
+        self.ready_strategy = ready_strategy
         self.collector = ResultCollector(keep_tuples=keep_results)
         if not plan.is_attached:
             plan.attach(context)
         plan.set_result_sink(self.collector.add)
         self._input_queues: Dict[Tuple[int, str], InterOperatorQueue] = {}
-        self._ready_meta: List[Tuple[Operator, str, InterOperatorQueue, int]] = []
+        self._ready_meta: List[ReadyInput] = []
+        #: Templates by queue identity, and the currently non-empty subset.
+        self._ready_templates: Dict[int, ReadyInput] = {}
+        self._ready: Dict[int, ReadyInput] = {}
         if mode == ExecutionMode.QUEUED:
             self._setup_queues()
+            context.add_feedback_listener(self.scheduler.notify_feedback)
 
     # -- queued-mode plumbing -----------------------------------------------------
 
@@ -128,7 +180,16 @@ class ExecutionEngine:
                     name=f"->{operator.name}.{port}", context=self.context
                 )
                 self._input_queues[(id(operator), port)] = queue
-                self._ready_meta.append((operator, port, queue, depths.get(id(operator), 0)))
+                template = ReadyInput(
+                    operator=operator,
+                    port=port,
+                    queue=queue,
+                    depth=depths.get(id(operator), 0),
+                    order=len(self._ready_meta),
+                )
+                self._ready_meta.append(template)
+                self._ready_templates[id(queue)] = template
+                queue.readiness_listener = self._on_queue_readiness
         for operator in self.plan.operators:
             if operator.consumer is not None and operator.consumer_port is not None:
                 operator.output_queue = self._input_queues[
@@ -148,13 +209,50 @@ class ExecutionEngine:
         walk(self.plan.root, 0)
         return depths
 
+    def _on_queue_readiness(self, queue: InterOperatorQueue, nonempty: bool) -> None:
+        """Fold one queue transition into the incremental ready-set."""
+        key = id(queue)
+        if nonempty:
+            self._ready[key] = self._ready_templates[key]
+        else:
+            self._ready.pop(key, None)
+
     def _drain_queues(self) -> None:
-        """Run scheduled operators until every input queue is empty."""
+        """Run scheduled operators until every input queue is empty.
+
+        The ready list handed to the scheduler is always sorted by the
+        stable registration index, so both strategies present ready inputs
+        in the identical order and every policy's decisions (including FIFO
+        tie-breaks) coincide between them.
+        """
+        if self.ready_strategy == ReadyStrategy.RESCAN:
+            self._drain_queues_rescan()
+            return
+        while self._ready:
+            ready = sorted(self._ready.values(), key=_BY_ORDER)
+            self.context.cost.charge(CostKind.SCHEDULER_STEP)
+            choice = ready[self.scheduler.select(ready)]
+            tup = choice.queue.pop()
+            choice.operator.process(tup, choice.port)
+
+    def _drain_queues_rescan(self) -> None:
+        """The pre-optimization drain loop, kept verbatim as a baseline.
+
+        Scans every queue and rebuilds a fresh ``ReadyInput`` per non-empty
+        one on *every* scheduling step — O(queues) work plus allocations per
+        tuple — exactly what the incremental ready-set replaces.
+        """
         while True:
             ready = [
-                ReadyInput(operator=op, port=port, queue=queue, depth=depth)
-                for op, port, queue, depth in self._ready_meta
-                if len(queue)
+                ReadyInput(
+                    operator=item.operator,
+                    port=item.port,
+                    queue=item.queue,
+                    depth=item.depth,
+                    order=item.order,
+                )
+                for item in self._ready_meta
+                if len(item.queue)
             ]
             if not ready:
                 return
@@ -175,6 +273,33 @@ class ExecutionEngine:
             self._input_queues[(id(operator), port)].push(event.tuple)
         self._drain_queues()
 
+    def process_batch(self, events: Sequence[StreamEvent]) -> None:
+        """Process a micro-batch of same-timestamp arrivals.
+
+        The clock advance (and, in queued mode, the drain loop) runs once
+        for the whole batch instead of once per event.  Same-timestamp
+        window joins commute — whichever tuple of a matching pair is
+        processed second finds the other in the opposite state — so the
+        result multiset matches event-at-a-time processing.
+        """
+        if not events:
+            return
+        ts = events[0].ts
+        for event in events[1:]:
+            if event.ts != ts:
+                raise ValueError(
+                    f"process_batch needs same-timestamp events, got {ts} and {event.ts}"
+                )
+        self.context.clock.advance_to(ts)
+        if self.mode == ExecutionMode.SYNCHRONOUS:
+            for event in events:
+                self.plan.deliver(event.tuple, event.source)
+            return
+        for event in events:
+            for operator, port in self.plan.targets_for(event.source):
+                self._input_queues[(id(operator), port)].push(event.tuple)
+        self._drain_queues()
+
     def run(self, events: Iterable[StreamEvent]) -> RunReport:
         """Process every event and return the run report."""
         cost = self.context.cost
@@ -186,12 +311,29 @@ class ExecutionEngine:
                 count += 1
         finally:
             cost.stop_wall_clock()
+        return self._report(count)
+
+    def run_batch(self, events: Iterable[StreamEvent]) -> RunReport:
+        """Process every event, micro-batching same-timestamp arrivals."""
+        cost = self.context.cost
+        cost.start_wall_clock()
+        count = 0
+        try:
+            for _ts, group in groupby(events, key=lambda event: event.ts):
+                batch = list(group)
+                self.process_batch(batch)
+                count += len(batch)
+        finally:
+            cost.stop_wall_clock()
+        return self._report(count)
+
+    def _report(self, count: int) -> RunReport:
         return RunReport(
             description=self.plan.description or self.plan.root.name,
             events_processed=count,
             results=self.collector,
             metrics=MetricsReport.from_models(
-                cost, self.context.memory, results_produced=self.collector.count
+                self.context.cost, self.context.memory, results_produced=self.collector.count
             ),
         )
 
@@ -203,17 +345,26 @@ def run_workload(
     mode: str = ExecutionMode.SYNCHRONOUS,
     scheduler: Optional[OperatorScheduler] = None,
     keep_results: bool = True,
+    ready_strategy: str = ReadyStrategy.INCREMENTAL,
+    batch: bool = False,
 ) -> RunReport:
     """Convenience helper: build a fresh context, run ``events`` through ``plan``.
 
     Parameters mirror :class:`ExecutionEngine`; a new
     :class:`~repro.context.ExecutionContext` with a window of
     ``window_length`` seconds is created so repeated calls are independent.
+    ``batch=True`` ingests through :meth:`ExecutionEngine.run_batch`,
+    micro-batching same-timestamp arrivals.
     """
     from repro.streams.time import Window
 
     context = ExecutionContext(window=Window(window_length))
     engine = ExecutionEngine(
-        plan, context, mode=mode, scheduler=scheduler, keep_results=keep_results
+        plan,
+        context,
+        mode=mode,
+        scheduler=scheduler,
+        keep_results=keep_results,
+        ready_strategy=ready_strategy,
     )
-    return engine.run(events)
+    return engine.run_batch(events) if batch else engine.run(events)

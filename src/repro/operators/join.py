@@ -148,6 +148,23 @@ class BinaryJoinOperator(Operator):
             values.append(ref.value(tup))
         return tuple(values)
 
+    def probe_candidates(
+        self, tup: StreamTuple, probe_port: str, live_only_after: Optional[float] = None
+    ) -> Iterable[StateEntry]:
+        """Entries of ``probe_port``'s state eligible to join ``tup``.
+
+        The single place that decides between the hash index and a scan:
+        with ``use_hash_index`` (which implies all-equi local conditions)
+        only key-equal entries are returned — REF-equivalent, since entries
+        with a different key cannot satisfy the conditions.  Callers must
+        still re-check ``removed`` (and any live horizon) per entry, as the
+        probe may mutate the state re-entrantly.
+        """
+        state = self.states[probe_port]
+        if self.use_hash_index and self.local_conditions:
+            return state.probe_key(self._probe_key_for(tup, probe_port))
+        return state.probe(live_only_after=live_only_after)
+
     # -- processing ---------------------------------------------------------------
 
     def process(self, tup: StreamTuple, port: str) -> None:
@@ -195,11 +212,7 @@ class BinaryJoinOperator(Operator):
         opp_port = opposite_port(port)
         opposite = self.states[opp_port]
         live_after = window.purge_horizon(now) if opposite.purge_floor is not None else None
-        if self.use_hash_index and self.local_conditions:
-            candidates = opposite.probe_key(self._probe_key_for(tup, opp_port))
-        else:
-            candidates = list(opposite.probe(live_only_after=live_after))
-        for entry in candidates:
+        for entry in self.probe_candidates(tup, opp_port, live_only_after=live_after):
             if entry.removed:
                 continue
             if live_after is not None and entry.ts < live_after:

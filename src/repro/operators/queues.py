@@ -15,13 +15,18 @@ pending partial results occupy memory exactly like state tuples do.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterator, List, Optional, Tuple
+from typing import Callable, Deque, Iterator, List, Optional, Tuple
 
 from repro.context import ExecutionContext
 from repro.metrics import CostKind
 from repro.streams.tuples import StreamTuple
 
 __all__ = ["InterOperatorQueue"]
+
+#: Callback ``(queue, nonempty)`` fired when a queue transitions between
+#: empty and non-empty.  The queued engine uses it to maintain its ready-set
+#: incrementally instead of rescanning every queue per scheduling step.
+ReadinessListener = Callable[["InterOperatorQueue", bool], None]
 
 
 class InterOperatorQueue:
@@ -54,6 +59,8 @@ class InterOperatorQueue:
         self._items: Deque[StreamTuple] = deque()
         self.total_pushed = 0
         self.max_length = 0
+        #: Empty<->non-empty transition observer (set by the queued engine).
+        self.readiness_listener: Optional[ReadinessListener] = None
 
     def push(self, tup: StreamTuple) -> None:
         """Append ``tup`` to the queue."""
@@ -64,6 +71,8 @@ class InterOperatorQueue:
         self.max_length = max(self.max_length, len(self._items))
         self.context.cost.charge(CostKind.QUEUE_OP)
         self.context.memory.allocate(tup.size_bytes, "queue")
+        if len(self._items) == 1 and self.readiness_listener is not None:
+            self.readiness_listener(self, True)
 
     def pop(self) -> StreamTuple:
         """Remove and return the oldest queued tuple."""
@@ -72,6 +81,8 @@ class InterOperatorQueue:
         tup = self._items.popleft()
         self.context.cost.charge(CostKind.QUEUE_OP)
         self.context.memory.release(tup.size_bytes, "queue")
+        if not self._items and self.readiness_listener is not None:
+            self.readiness_listener(self, False)
         return tup
 
     def peek(self) -> Optional[StreamTuple]:

@@ -122,8 +122,25 @@ class OperatorState:
 
     @property
     def is_empty(self) -> bool:
-        """True when the state holds no tuples at all (live or retained)."""
+        """True when the state holds no tuples at all (live or retained).
+
+        Under an active purge floor the state may be non-empty while every
+        entry is formally expired; callers that need "no *live* tuples" —
+        e.g. the Ø-MNS check of the JIT join — must use :meth:`has_live`.
+        """
         return self._active_count == 0
+
+    def has_live(self, horizon: Optional[float] = None) -> bool:
+        """True when at least one present entry has ``ts >= horizon``.
+
+        ``horizon=None`` means every present entry counts as live (no purge
+        floor is retaining expired tuples).  This is the emptiness test a
+        probe sees: retained-but-expired tuples are invisible to it, so they
+        must not suppress a legitimate Ø suspension.
+        """
+        if horizon is None:
+            return self._active_count > 0
+        return any(e.ts >= horizon for e in self._entries if not e.removed)
 
     @property
     def next_seq(self) -> int:

@@ -47,17 +47,40 @@ class FIFOScheduler(OperatorScheduler):
 
 
 class RoundRobinScheduler(OperatorScheduler):
-    """Cycle through ready inputs in turn."""
+    """Cycle through ready inputs in turn.
+
+    The rotation is over *stable* (operator, port) identities, not over
+    positions in the ready list: a raw cursor modulo a changing list length
+    can land on the same position every call (e.g. a two-element list
+    interleaved with a singleton always yields index 0 on both and starves
+    the second input).  Every call serves the least-recently-served ready
+    identity (never-served identities first, in first-sight order), which
+    guarantees each continuously ready input is served once per rotation no
+    matter how the ready list churns between calls.
+    """
 
     name = "round_robin"
 
     def __init__(self) -> None:
-        self._cursor = 0
+        #: (operator id, port) -> (step at which it was last served, first-sight rank).
+        self._history: Dict[Tuple[int, str], Tuple[int, int]] = {}
+        self._step = 0
 
     def select(self, ready: Sequence[ReadyInput]) -> int:
-        index = self._cursor % len(ready)
-        self._cursor += 1
-        return index
+        best_index = 0
+        best_key: Optional[Tuple[int, int]] = None
+        for index, item in enumerate(ready):
+            key = (id(item.operator), item.port)
+            record = self._history.get(key)
+            if record is None:
+                record = self._history[key] = (-1, len(self._history))
+            if best_key is None or record < best_key:
+                best_index, best_key = index, record
+        self._step += 1
+        chosen = ready[best_index]
+        chosen_key = (id(chosen.operator), chosen.port)
+        self._history[chosen_key] = (self._step, self._history[chosen_key][1])
+        return best_index
 
 
 class PriorityScheduler(OperatorScheduler):

@@ -27,6 +27,11 @@ class ReadyInput:
     #: Distance of the operator from the plan root (root = 0); schedulers may
     #: use it to prefer upstream or downstream work.
     depth: int = 0
+    #: Stable registration index of the (operator, port) pair within the
+    #: engine.  The engine presents ready inputs sorted by this index, so
+    #: scheduling decisions (and FIFO tie-breaks) are independent of the
+    #: order in which queues happened to become non-empty.
+    order: int = 0
 
     @property
     def head_ts(self) -> float:

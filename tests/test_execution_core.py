@@ -1,0 +1,445 @@
+"""Tests for the high-throughput execution core.
+
+Covers the incremental scheduler ready-set, micro-batch ingestion, the
+hash-indexed JIT probe paths, feedback-aware scheduling, the round-robin
+fairness fix, symmetric feedback statistics, and the regression for the
+divert-before-resume-probe result loss.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.context import ExecutionContext
+from repro.core.jit_join import JITJoinOperator
+from repro.engine import ExecutionMode, ReadyStrategy, run_workload
+from repro.engine.engine import ExecutionEngine
+from repro.engine.results import result_multiset
+from repro.operators.queues import InterOperatorQueue
+from repro.operators.state import OperatorState
+from repro.plans.builder import (
+    PLAN_LEFT_DEEP,
+    STRATEGY_JIT,
+    STRATEGY_REF,
+    build_xjoin_plan,
+)
+from repro.plans.query import ContinuousQuery
+from repro.scheduler import JITAwareScheduler, ReadyInput, RoundRobinScheduler, build_scheduler
+from repro.streams.generators import generate_clique_workload
+from repro.streams.sources import StreamEvent
+from repro.streams.time import Window
+from repro.streams.tuples import AtomicTuple
+
+ALL_POLICIES = ("fifo", "round_robin", "priority", "jit_aware")
+
+
+def _suspension_workload():
+    """A 4-source clique workload (3-join left-deep plan) with live JIT traffic."""
+    return generate_clique_workload(
+        n_sources=4, rate=0.5, window_seconds=20, dmax=2, duration=60, seed=0
+    )
+
+
+def _jit_plan(query, **kwargs):
+    return build_xjoin_plan(query, shape=PLAN_LEFT_DEEP, strategy=STRATEGY_JIT, **kwargs)
+
+
+def _reference_run(workload):
+    query = ContinuousQuery.from_workload(workload)
+    events = workload.events()
+    report = run_workload(
+        build_xjoin_plan(query, shape=PLAN_LEFT_DEEP, strategy=STRATEGY_REF),
+        events,
+        workload.window.length,
+    )
+    return query, events, result_multiset(report.results.results)
+
+
+# ------------------------------------------------------------------- bugfix regression
+
+
+class TestDivertResumeRegression:
+    """A diverted arrival must still trigger resumptions for the MNSs it matches.
+
+    Minimal failing sequence (found by hypothesis, reduced by delta
+    debugging): ``C#2`` arrives at the middle join while (i) its own port is
+    under an Ø suspension, so the arrival is parked, and (ii) the opposite
+    MNS buffer holds ``<A: A.x2=1>``, for which ``C#2`` is the missing
+    partner.  Diverting before probing the MNS buffer strands the suspended
+    ``A`` tuples upstream forever and the result ``a2·b2·c2·d1`` is lost.
+    """
+
+    RAW_EVENTS = (
+        ("A", 3.1769, {"x1": 2, "x2": 1, "x3": 1}),
+        ("C", 5.8629, {"x2": 2, "x4": 1, "x6": 2}),
+        ("B", 7.9334, {"x1": 2, "x4": 2, "x5": 2}),
+        ("A", 7.9645, {"x1": 2, "x2": 1, "x3": 1}),
+        ("A", 8.7172, {"x1": 2, "x2": 2, "x3": 1}),
+        ("B", 8.8028, {"x1": 2, "x4": 1, "x5": 2}),
+        ("C", 9.3260, {"x2": 1, "x4": 2, "x6": 2}),
+        ("D", 9.3327, {"x3": 1, "x5": 2, "x6": 2}),
+    )
+
+    def _events(self):
+        events = []
+        seqs: dict = {}
+        for source, ts, attrs in self.RAW_EVENTS:
+            seqs[source] = seqs.get(source, 0) + 1
+            events.append(
+                StreamEvent(
+                    ts=ts, source=source, tuple=AtomicTuple(source, ts, attrs, seq=seqs[source])
+                )
+            )
+        return events
+
+    def test_minimal_sequence_matches_ref(self):
+        workload = _suspension_workload()
+        query = ContinuousQuery.from_workload(workload)
+        events = self._events()
+        ref = run_workload(
+            build_xjoin_plan(query, shape=PLAN_LEFT_DEEP, strategy=STRATEGY_REF),
+            events,
+            workload.window.length,
+        )
+        jit = run_workload(_jit_plan(query), events, workload.window.length)
+        assert result_multiset(jit.results.results) == result_multiset(ref.results.results)
+        assert ref.result_count == 3
+
+    def test_original_falsifying_workload_matches_ref(self):
+        workload = _suspension_workload()
+        query, events, ref = _reference_run(workload)
+        jit = run_workload(_jit_plan(query), events, workload.window.length)
+        assert result_multiset(jit.results.results) == ref
+
+
+class TestReplayedTupleResumesRegression:
+    """A replayed suspended tuple must act as a resumption trigger.
+
+    Second divergence found by hypothesis, reduced by delta debugging: Op3
+    suspends ``<C: C.x6=5>`` at Op2 (parking ``C#1``), after which an AB
+    partial probing Op2's right state misses ``C#1`` and suspends
+    ``<A: A.x2=6>`` at Op1.  When ``C#1`` is later resumed, its replay
+    re-enters the state — making it the missing partner of ``<A: A.x2=6>``
+    — but a replay that skips the MNS-buffer probe never resumes the
+    suspended ``A``, and the result ``a1·b3·c1·d2`` is lost.
+    """
+
+    RAW_EVENTS = (
+        ("A", 1.042680048453, {"x1": 5, "x2": 6, "x3": 2}),
+        ("C", 1.343772337151322, {"x2": 6, "x4": 4, "x6": 5}),
+        ("C", 2.1224435595944255, {"x2": 4, "x4": 5, "x6": 4}),
+        ("B", 2.2112908905890296, {"x1": 5, "x4": 3, "x5": 4}),
+        ("A", 2.575528409273283, {"x1": 5, "x2": 1, "x3": 5}),
+        ("D", 2.708958737582136, {"x3": 5, "x5": 3, "x6": 1}),
+        ("C", 2.778704628033483, {"x2": 1, "x4": 3, "x6": 5}),
+        ("B", 3.762794256505115, {"x1": 5, "x4": 3, "x5": 4}),
+        ("B", 4.832813725028561, {"x1": 5, "x4": 4, "x5": 4}),
+        ("D", 46.45106987117514, {"x3": 2, "x5": 4, "x6": 5}),
+    )
+
+    def test_minimal_sequence_matches_ref(self):
+        from repro.core.config import DetectionMode, JITConfig
+
+        workload = generate_clique_workload(
+            n_sources=4, rate=2.0, window_seconds=80, dmax=6, duration=100, seed=56
+        )
+        query = ContinuousQuery.from_workload(workload)
+        events = []
+        seqs: dict = {}
+        for source, ts, attrs in self.RAW_EVENTS:
+            seqs[source] = seqs.get(source, 0) + 1
+            events.append(
+                StreamEvent(
+                    ts=ts, source=source, tuple=AtomicTuple(source, ts, attrs, seq=seqs[source])
+                )
+            )
+        config = JITConfig(
+            detection_mode=DetectionMode.LATTICE,
+            divert_similar_arrivals=False,
+            propagate_feedback=False,
+        )
+        ref = run_workload(
+            build_xjoin_plan(query, shape=PLAN_LEFT_DEEP, strategy=STRATEGY_REF),
+            events,
+            workload.window.length,
+        )
+        jit = run_workload(
+            _jit_plan(query, jit_config=config), events, workload.window.length
+        )
+        assert result_multiset(jit.results.results) == result_multiset(ref.results.results)
+        assert ref.result_count == 1
+
+
+# ------------------------------------------------------------------- queued equivalence
+
+
+class TestQueuedEquivalence:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    @pytest.mark.parametrize("ready_strategy", ReadyStrategy.ALL)
+    def test_all_policies_match_synchronous_on_jit_plan(self, policy, ready_strategy):
+        workload = _suspension_workload()
+        query, events, ref = _reference_run(workload)
+        plan = _jit_plan(query)
+        report = run_workload(
+            plan,
+            events,
+            workload.window.length,
+            mode=ExecutionMode.QUEUED,
+            scheduler=build_scheduler(policy),
+            ready_strategy=ready_strategy,
+        )
+        assert result_multiset(report.results.results) == ref
+        # The workload must actually exercise the feedback mechanism for the
+        # equivalence to mean anything.
+        stats = [op.stats for op in plan.join_operators if isinstance(op, JITJoinOperator)]
+        assert sum(s["suspensions_sent"] for s in stats) > 0
+        assert sum(s["resumptions_sent"] for s in stats) > 0
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_incremental_ready_set_reproduces_rescan_schedule(self, policy):
+        # Not just the same result multiset: the identical schedule, hence
+        # identical modelled costs, for every policy.
+        workload = _suspension_workload()
+        query, events, _ref = _reference_run(workload)
+        reports = {}
+        for ready_strategy in ReadyStrategy.ALL:
+            report = run_workload(
+                _jit_plan(query),
+                events,
+                workload.window.length,
+                mode=ExecutionMode.QUEUED,
+                scheduler=build_scheduler(policy),
+                ready_strategy=ready_strategy,
+            )
+            reports[ready_strategy] = report
+        incremental = reports[ReadyStrategy.INCREMENTAL]
+        rescan = reports[ReadyStrategy.RESCAN]
+        assert [r for r in incremental.results.results] == [r for r in rescan.results.results]
+        assert incremental.metrics.cpu_units == rescan.metrics.cpu_units
+
+
+class TestMicroBatching:
+    def _tied_events(self):
+        """Two equi-joined sources with several same-timestamp arrivals."""
+        events = []
+        seq = 0
+        for step in range(40):
+            ts = float(step)
+            for source in ("A", "B"):
+                for k in range(2):
+                    seq += 1
+                    events.append(
+                        StreamEvent(
+                            ts=ts,
+                            source=source,
+                            tuple=AtomicTuple(source, ts, {"x1": (seq + k) % 3}, seq=seq),
+                        )
+                    )
+        return events
+
+    def _two_source_query(self):
+        workload = generate_clique_workload(
+            n_sources=2, rate=1.0, window_seconds=10, dmax=3, duration=40, seed=1
+        )
+        return ContinuousQuery.from_workload(workload)
+
+    @pytest.mark.parametrize("mode", ExecutionMode.ALL)
+    @pytest.mark.parametrize("strategy", (STRATEGY_REF, STRATEGY_JIT))
+    def test_run_batch_matches_per_event(self, mode, strategy):
+        query = self._two_source_query()
+        events = self._tied_events()
+        per_event = run_workload(
+            build_xjoin_plan(query, strategy=strategy), events, 10.0, mode=mode
+        )
+        batched = run_workload(
+            build_xjoin_plan(query, strategy=strategy), events, 10.0, mode=mode, batch=True
+        )
+        assert per_event.result_count > 0
+        assert result_multiset(batched.results.results) == result_multiset(
+            per_event.results.results
+        )
+        assert batched.events_processed == per_event.events_processed
+
+    def test_process_batch_rejects_mixed_timestamps(self):
+        query = self._two_source_query()
+        plan = build_xjoin_plan(query)
+        engine = ExecutionEngine(plan, ExecutionContext(window=Window(10.0)))
+        events = self._tied_events()
+        with pytest.raises(ValueError):
+            engine.process_batch([events[0], events[-1]])
+
+
+# ------------------------------------------------------------------- hash-indexed probes
+
+
+class TestIndexedJITProbes:
+    @pytest.mark.parametrize("mode", ExecutionMode.ALL)
+    def test_indexed_jit_join_matches_ref(self, mode):
+        workload = _suspension_workload()
+        query, events, ref = _reference_run(workload)
+        report = run_workload(
+            _jit_plan(query, use_hash_index=True),
+            events,
+            workload.window.length,
+            mode=mode,
+        )
+        assert result_multiset(report.results.results) == ref
+
+    def test_indexed_jit_join_matches_ref_with_suspension_churn(self):
+        # Higher rate and a selective top join: many suspensions/resumptions
+        # exercise _join_resumed's indexed path with non-trivial watermarks.
+        workload = generate_clique_workload(
+            n_sources=3,
+            rate=1.0,
+            window_seconds=36,
+            dmax=40,
+            duration=110,
+            seed=9,
+            value_range_overrides={"C": 5000},
+        )
+        query, events, ref = _reference_run(workload)
+        plan = _jit_plan(query, use_hash_index=True)
+        report = run_workload(plan, events, workload.window.length)
+        assert result_multiset(report.results.results) == ref
+        stats = [op.stats for op in plan.join_operators if isinstance(op, JITJoinOperator)]
+        assert sum(s["suspensions_sent"] for s in stats) > 0
+
+    def test_detection_free_probe_uses_index(self):
+        # On a 2-source plan both ports are source-fed, so detection is off
+        # and every probe must go through the hash index: no PROBE_STEP cost
+        # beyond key-matching entries, i.e. far fewer than the nested loop.
+        workload = generate_clique_workload(
+            n_sources=2, rate=2.0, window_seconds=30, dmax=50, duration=100, seed=3
+        )
+        query, events, ref = _reference_run(workload)
+        nested = run_workload(_jit_plan(query), events, workload.window.length)
+        indexed = run_workload(
+            _jit_plan(query, use_hash_index=True), events, workload.window.length
+        )
+        assert result_multiset(indexed.results.results) == ref
+        nested_probes = nested.metrics.counters.get("probe_step", 0)
+        indexed_probes = indexed.metrics.counters.get("probe_step", 0)
+        assert indexed_probes < nested_probes / 5
+
+
+# ------------------------------------------------------------------- schedulers
+
+
+class TestRoundRobinFairness:
+    def _inputs(self, context, n):
+        class _Op:
+            def __init__(self, name):
+                self.name = name
+
+        inputs = []
+        for i in range(n):
+            queue = InterOperatorQueue(f"q{i}", context)
+            inputs.append(ReadyInput(operator=_Op(f"op{i}"), port="left", queue=queue, order=i))
+        return inputs
+
+    def test_no_starvation_under_alternating_ready_lengths(self, context):
+        # The old cursor-modulo implementation picked index 0 of [a, b]
+        # whenever the cursor happened to be even — which an interleaved
+        # singleton list guarantees — so b was never served.
+        a, b, c = self._inputs(context, 3)
+        scheduler = RoundRobinScheduler()
+        served = []
+        for _round in range(6):
+            served.append([a, b][scheduler.select([a, b])].operator.name)
+            served.append([c][scheduler.select([c])].operator.name)
+        assert "op1" in served, f"input b starved: {served}"
+        # Fair rotation: a and b are served equally often.
+        assert served.count("op0") == served.count("op1")
+
+    def test_cycles_through_stable_identities(self, context):
+        a, b = self._inputs(context, 2)
+        scheduler = RoundRobinScheduler()
+        picks = [scheduler.select([a, b]) for _ in range(4)]
+        assert picks == [0, 1, 0, 1]
+
+
+class TestFeedbackAwareScheduling:
+    def test_engine_notifies_scheduler_of_feedback(self):
+        workload = _suspension_workload()
+        query, events, ref = _reference_run(workload)
+        plan = _jit_plan(query)
+        context = ExecutionContext(window=Window(workload.window.length))
+        scheduler = JITAwareScheduler()
+        engine = ExecutionEngine(
+            plan, context, mode=ExecutionMode.QUEUED, scheduler=scheduler
+        )
+        notifications = []
+        context.add_feedback_listener(
+            lambda producer, consumer, kind: notifications.append(kind)
+        )
+        report = engine.run(events)
+        assert result_multiset(report.results.results) == ref
+        assert "suspend" in notifications and "resume" in notifications
+
+    def test_boost_prefers_resumed_producer(self, context):
+        class _Op:
+            def __init__(self, name):
+                self.name = name
+
+        producer, consumer = _Op("producer"), _Op("consumer")
+        q1, q2 = (InterOperatorQueue(f"q{i}", context) for i in (1, 2))
+        older = AtomicTuple("A", 1.0, {"x": 1})
+        newer = AtomicTuple("B", 2.0, {"x": 1})
+        q1.push(newer)
+        q2.push(older)
+        ready = (
+            ReadyInput(operator=producer, port="left", queue=q1, order=0),
+            ReadyInput(operator=consumer, port="left", queue=q2, order=1),
+        )
+        scheduler = JITAwareScheduler(boost_steps=2)
+        assert scheduler.select(ready) == 1  # FIFO fallback: oldest head wins
+        scheduler.notify_feedback(producer, consumer, "resume")
+        assert scheduler.select(ready) == 0  # boosted producer wins
+        assert scheduler.select(ready) == 0  # still boosted (2 steps)
+        assert scheduler.select(ready) == 1  # boost expired
+
+
+# ------------------------------------------------------------------- feedback statistics
+
+
+class TestFeedbackStats:
+    def test_sent_equals_received_per_signature(self):
+        workload = _suspension_workload()
+        query, events, _ref = _reference_run(workload)
+        plan = _jit_plan(query)
+        run_workload(plan, events, workload.window.length)
+        jit_ops = [op for op in plan.join_operators if isinstance(op, JITJoinOperator)]
+        sent_susp = sum(op.stats["suspensions_sent"] for op in jit_ops)
+        recv_susp = sum(op.stats["suspensions_received"] for op in jit_ops)
+        sent_res = sum(op.stats["resumptions_sent"] for op in jit_ops)
+        recv_res = sum(op.stats["resumptions_received"] for op in jit_ops)
+        assert sent_susp > 0 and sent_res > 0
+        assert sent_susp == recv_susp
+        assert sent_res == recv_res
+
+
+# ------------------------------------------------------------------- operator state
+
+
+class TestHasLive:
+    def test_retained_entries_are_not_live(self, context):
+        state = OperatorState("S", context)
+        state.insert(AtomicTuple("A", 1.0, {"x": 1}), now=1.0)
+        state.insert(AtomicTuple("A", 2.0, {"x": 2}), now=2.0)
+        # A purge floor retains both entries past their expiry at t=100.
+        state.purge_floor = 0.5
+        state.purge(horizon=100.0)
+        assert not state.is_empty
+        assert state.has_live(None)
+        assert state.has_live(2.0)
+        assert not state.has_live(2.5), "every entry is below the live horizon"
+
+    def test_has_live_without_horizon_matches_emptiness(self, context):
+        state = OperatorState("S", context)
+        assert not state.has_live(None)
+        entry = state.insert(AtomicTuple("A", 1.0, {"x": 1}), now=1.0)
+        assert state.has_live(None)
+        state.remove_entry(entry)
+        assert not state.has_live(None)

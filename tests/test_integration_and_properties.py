@@ -175,6 +175,7 @@ def workload_parameters(draw):
     )
 
 
+@pytest.mark.slow
 class TestPropertyEquivalence:
     @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
     @given(params=workload_parameters(), shape=st.sampled_from([PLAN_LEFT_DEEP, PLAN_BUSHY]))

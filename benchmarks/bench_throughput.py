@@ -10,17 +10,26 @@ hot path along the two axes optimized by the high-throughput execution core:
 * **Ready-set maintenance** — the queued engine's incremental ready-set vs.
   the O(queues)-per-step rescan baseline, with and without same-timestamp
   micro-batching.
+* **Multi-query sharding** — a population of standing queries over shared
+  streams served by the :class:`~repro.multi.ShardedEngine`: 1-shard vs.
+  N-shard throughput (sync and thread-per-shard), plus the INCREMENTAL vs.
+  RESCAN ready-set comparison re-measured at the high queue counts only the
+  multi-query engine reaches (hundreds of input queues in one scheduler
+  domain).  ``--suite multi`` writes its numbers to ``BENCH_multi.json``.
 
-Both comparisons run in both execution modes and assert that every variant
-produces the identical result multiset, so a reported speedup is never the
+Every comparison asserts that all variants produce the identical result
+multiset (or identical per-query counts), so a reported speedup is never the
 product of a wrong answer.
 
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py [--events 10000]
+    PYTHONPATH=src python benchmarks/bench_throughput.py --suite multi \
+        [--queries 128] [--shards 1,4,8] [--multi-events 6000] [--json PATH]
 
 or through pytest (wall-clock numbers are printed; the ≥3x indexed-probe
-speedup on the 10k-event workload is asserted)::
+speedup on the 10k-event workload and the N-shard-threaded ≥ 1-shard
+multi-query acceptance are asserted)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_throughput.py -q -s
 """
@@ -28,11 +37,14 @@ speedup on the 10k-event workload is asserted)::
 from __future__ import annotations
 
 import argparse
+import json
 import time
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine import ExecutionMode, ReadyStrategy, run_workload
 from repro.engine.results import result_multiset
+from repro.multi import QueryRegistry, ShardedEngine, generate_multi_query_workload
 from repro.plans.builder import (
     PLAN_LEFT_DEEP,
     STRATEGY_JIT,
@@ -46,6 +58,16 @@ from repro.streams.generators import generate_clique_workload
 #: Workload sized so the 10k-event acceptance measurement keeps a few hundred
 #: tuples per window — the regime where probe algorithm choice dominates.
 DEFAULT_EVENTS = 10_000
+
+#: Standing-query population of the multi-query suite (ISSUE 3 acceptance
+#: measures the 128-query workload).
+DEFAULT_QUERIES = 128
+
+#: Arrivals driven through the multi-query suite per variant.
+DEFAULT_MULTI_EVENTS = 6_000
+
+#: Where ``--suite multi`` records its results.
+DEFAULT_MULTI_JSON = Path(__file__).resolve().parent / "BENCH_multi.json"
 
 
 def _equi_workload(n_events: int, n_sources: int = 2, seed: int = 7):
@@ -149,6 +171,154 @@ def bench_ready_set(n_events: int = DEFAULT_EVENTS) -> Dict[str, Dict[str, float
     return out
 
 
+def _multi_registry(workload, strategy: str) -> QueryRegistry:
+    """Register the workload's standing queries with hash-indexed probes."""
+    registry = QueryRegistry()
+    for query in workload.queries():
+        registry.register(query, strategy=strategy, use_hash_index=True)
+    return registry
+
+
+def bench_multi_query(
+    n_queries: int = DEFAULT_QUERIES,
+    n_events: int = DEFAULT_MULTI_EVENTS,
+    shard_counts: Tuple[int, ...] = (1, 4, 8),
+    strategy: str = STRATEGY_REF,
+    repeats: int = 2,
+) -> Dict[str, object]:
+    """The sharded multi-query serving benchmark.
+
+    ``n_queries`` standing neighborhood queries over 4 shared streams are
+    served by the :class:`ShardedEngine` at each shard count, synchronously
+    and in the thread-per-shard mode, and (1 shard, sync) additionally with
+    the RESCAN ready-set baseline.  Few sources under many queries puts
+    ~``n_queries/4`` subscribers on every stream, so a single scheduler
+    domain sees ready-sets that big on every arrival — the regime where
+    scheduling cost dominates and sharding splits it (ROADMAP "Ready-set
+    constant factors": the win grows with queue count).
+
+    The default ``strategy`` is REF so the measurement isolates the serving
+    layer (routing, queues, scheduler domains) the suite is about; the JIT
+    hot paths have their own probe-path benchmark above.  Each variant runs
+    ``repeats`` times and reports its best throughput (shared-runner noise
+    is one-sided), and every variant must reproduce the per-query result
+    counts of the first.
+    """
+    # The 1-shard baseline anchors both the acceptance ratio and the
+    # ready-set comparison, so it is always measured.
+    shard_counts = tuple(sorted(set(shard_counts) | {1}))
+    n_sources = 4
+    rate = 1.0
+    workload = generate_multi_query_workload(
+        n_queries=n_queries,
+        n_sources=n_sources,
+        rate=rate,
+        window_seconds=30.0,
+        dmax=400,
+        duration=max(1.0, n_events / (n_sources * rate)),
+        seed=13,
+    )
+    events = workload.events()
+    registry = _multi_registry(workload, strategy)
+
+    variants: List[Tuple[str, Dict[str, object]]] = []
+    for shards in shard_counts:
+        variants.append((f"{shards}-shard/sync", dict(n_shards=shards)))
+        variants.append((f"{shards}-shard/threaded", dict(n_shards=shards, threaded=True)))
+    variants.append(
+        (
+            "1-shard/sync/rescan",
+            dict(n_shards=1, ready_strategy=ReadyStrategy.RESCAN),
+        )
+    )
+
+    sharding: Dict[str, Dict[str, float]] = {}
+    baseline_counts: Optional[Dict[str, int]] = None
+    queue_counts: Dict[str, int] = {}
+    for label, kwargs in variants:
+        best_elapsed = float("inf")
+        for _ in range(max(1, repeats)):
+            with ShardedEngine(registry, keep_results=False, **kwargs) as engine:
+                queue_counts[label] = max(shard.queue_count for shard in engine.shards)
+                start = time.perf_counter()
+                report = engine.run(events)
+                elapsed = time.perf_counter() - start
+            counts = report.result_counts()
+            if baseline_counts is None:
+                baseline_counts = counts
+            assert counts == baseline_counts, f"{label} changed the per-query results"
+            best_elapsed = min(best_elapsed, elapsed)
+        sharding[label] = {
+            "events_per_sec": len(events) / best_elapsed,
+            "wall_seconds": best_elapsed,
+            "max_queues_per_shard": queue_counts[label],
+        }
+
+    one_shard = sharding["1-shard/sync"]["events_per_sec"]
+    best_threaded_label = max(
+        (label for label in sharding if label.endswith("/threaded")),
+        key=lambda label: sharding[label]["events_per_sec"],
+    )
+    assert baseline_counts is not None
+    return {
+        "config": {
+            "n_queries": n_queries,
+            "n_sources": n_sources,
+            "n_events": len(events),
+            "window_seconds": 30.0,
+            "dmax": 400,
+            "rate": rate,
+            "seed": 13,
+            "strategy": strategy,
+            "repeats": repeats,
+            "shard_counts": list(shard_counts),
+            "workload": workload.describe(),
+        },
+        "total_results": sum(baseline_counts.values()),
+        "sharding": sharding,
+        "ready_set": {
+            "incremental_events_per_sec": sharding["1-shard/sync"]["events_per_sec"],
+            "rescan_events_per_sec": sharding["1-shard/sync/rescan"]["events_per_sec"],
+            "speedup": sharding["1-shard/sync"]["events_per_sec"]
+            / sharding["1-shard/sync/rescan"]["events_per_sec"],
+            "queues_in_domain": queue_counts["1-shard/sync"],
+        },
+        "acceptance": {
+            "one_shard_sync_events_per_sec": one_shard,
+            "best_threaded_label": best_threaded_label,
+            "best_threaded_events_per_sec": sharding[best_threaded_label]["events_per_sec"],
+            "threaded_vs_one_shard": sharding[best_threaded_label]["events_per_sec"]
+            / one_shard,
+            "ok": sharding[best_threaded_label]["events_per_sec"] >= one_shard,
+        },
+    }
+
+
+def _format_multi(table: Dict[str, object]) -> str:
+    config = table["config"]
+    lines = [
+        f"multi-query serving ({config['n_queries']} queries, "
+        f"{config['n_events']} events, {table['total_results']} results)"
+    ]
+    for label, row in table["sharding"].items():
+        lines.append(
+            f"  {label:<24} {row['events_per_sec']:>10,.0f} ev/s  "
+            f"(wall {row['wall_seconds']:.2f}s, <= {row['max_queues_per_shard']} queues/shard)"
+        )
+    ready = table["ready_set"]
+    lines.append(
+        f"  ready-set @ {ready['queues_in_domain']} queues: incremental "
+        f"{ready['incremental_events_per_sec']:,.0f} ev/s vs rescan "
+        f"{ready['rescan_events_per_sec']:,.0f} ev/s -> {ready['speedup']:.2f}x"
+    )
+    acceptance = table["acceptance"]
+    lines.append(
+        f"  acceptance: {acceptance['best_threaded_label']} vs 1-shard/sync = "
+        f"{acceptance['threaded_vs_one_shard']:.2f}x ({'OK' if acceptance['ok'] else 'FAIL'})"
+    )
+    return "\n".join(lines)
+
+
 def _format(table: Dict[str, Dict[str, float]], title: str) -> str:
     lines = [title]
     for key, row in table.items():
@@ -189,16 +359,91 @@ def test_ready_set_no_regression():
         assert row["speedup"] > 0.6, f"{key}: incremental ready-set regressed: {row}"
 
 
+def test_multi_query_shard_scaling():
+    """Acceptance (ISSUE 3): on the 128-query workload, the best N-shard
+    threaded configuration must serve events at least as fast as one shard,
+    and the incremental ready-set must clearly beat the rescan baseline at
+    multi-query queue counts."""
+    table = bench_multi_query(DEFAULT_QUERIES, DEFAULT_MULTI_EVENTS)
+    print()
+    print(_format_multi(table))
+    acceptance = table["acceptance"]
+    assert acceptance["ok"], (
+        f"N-shard threaded ({acceptance['best_threaded_events_per_sec']:,.0f} ev/s) "
+        f"slower than 1-shard ({acceptance['one_shard_sync_events_per_sec']:,.0f} ev/s)"
+    )
+    assert table["ready_set"]["speedup"] > 1.5, (
+        f"incremental ready-set should win decisively at "
+        f"{table['ready_set']['queues_in_domain']} queues: {table['ready_set']}"
+    )
+
+
 # --------------------------------------------------------------------------- CLI
 
 
 def main(argv: Optional[List[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite",
+        choices=("core", "probe", "ready", "multi", "all"),
+        default="core",
+        help="which benchmark family to run: 'core' (default) is the quick "
+        "probe + ready-set pair; 'multi' is the sharded multi-query sweep "
+        "(records JSON); 'all' runs everything",
+    )
     parser.add_argument("--events", type=int, default=DEFAULT_EVENTS)
+    parser.add_argument("--queries", type=int, default=DEFAULT_QUERIES)
+    parser.add_argument("--multi-events", type=int, default=DEFAULT_MULTI_EVENTS)
+    parser.add_argument(
+        "--shards",
+        default="1,4,8",
+        help="comma-separated shard counts for the multi-query suite",
+    )
+    parser.add_argument(
+        "--multi-strategy",
+        choices=(STRATEGY_REF, STRATEGY_JIT),
+        default=STRATEGY_REF,
+        help="operator strategy for the multi-query suite (REF isolates the serving layer)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="runs per multi-query variant (best throughput is reported)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help=f"record multi-query results as JSON (default {DEFAULT_MULTI_JSON})",
+    )
     args = parser.parse_args(argv)
-    print(_format(bench_probe_paths(args.events), f"probe paths ({args.events} events)"))
-    print()
-    print(_format(bench_ready_set(args.events), f"ready-set maintenance ({args.events} events)"))
+    if args.suite in ("core", "probe", "all"):
+        print(_format(bench_probe_paths(args.events), f"probe paths ({args.events} events)"))
+        print()
+    if args.suite in ("core", "ready", "all"):
+        print(
+            _format(
+                bench_ready_set(args.events), f"ready-set maintenance ({args.events} events)"
+            )
+        )
+        print()
+    if args.suite in ("multi", "all"):
+        shard_counts = tuple(int(s) for s in args.shards.split(","))
+        table = bench_multi_query(
+            args.queries,
+            args.multi_events,
+            shard_counts,
+            strategy=args.multi_strategy,
+            repeats=args.repeats,
+        )
+        print(_format_multi(table))
+        # An explicit multi run records its results; `all` only writes when a
+        # path was asked for, so it never clobbers the committed artifact.
+        json_path = args.json or (DEFAULT_MULTI_JSON if args.suite == "multi" else None)
+        if json_path is not None:
+            json_path.write_text(json.dumps(table, indent=2, sort_keys=True) + "\n")
+            print(f"  recorded -> {json_path}")
 
 
 if __name__ == "__main__":

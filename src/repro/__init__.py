@@ -70,6 +70,13 @@ from repro.plans import (
 )
 from repro.plans.builder import STRATEGY_DOE, STRATEGY_JIT, STRATEGY_REF
 from repro.engine import ExecutionEngine, ExecutionMode, ResultCollector, RunReport, run_workload
+from repro.multi import (
+    MultiRunReport,
+    QueryRegistry,
+    ShardedEngine,
+    SharedVirtualClock,
+    generate_multi_query_workload,
+)
 from repro.baselines import build_doe_plan, build_ref_plan
 
 __version__ = "1.0.0"
@@ -129,6 +136,12 @@ __all__ = [
     "RunReport",
     "ResultCollector",
     "run_workload",
+    # sharded multi-query engine
+    "QueryRegistry",
+    "ShardedEngine",
+    "MultiRunReport",
+    "SharedVirtualClock",
+    "generate_multi_query_workload",
     # baselines
     "build_ref_plan",
     "build_doe_plan",

@@ -53,7 +53,17 @@ from repro.plans.plan import ExecutionPlan
 from repro.scheduler import OperatorScheduler, ReadyInput, build_scheduler
 from repro.streams.sources import StreamEvent
 
-__all__ = ["ExecutionMode", "ReadyStrategy", "RunReport", "ExecutionEngine", "run_workload"]
+__all__ = [
+    "ExecutionMode",
+    "ReadyStrategy",
+    "RunReport",
+    "ExecutionEngine",
+    "run_workload",
+    "plan_operator_depths",
+    "wire_queued_plan",
+    "drain_ready_incremental",
+    "drain_ready_rescan",
+]
 
 #: Sort key presenting ready inputs in stable registration order.
 _BY_ORDER = attrgetter("order")
@@ -112,6 +122,112 @@ class RunReport:
             f"{self.result_count} results, cpu={self.cpu_units:.0f} units, "
             f"peak_mem={self.peak_memory_kb:.1f} KB, wall={self.metrics.wall_seconds:.3f}s"
         )
+
+
+# -- queued-mode machinery (shared with the sharded multi-query engine) ----------
+
+
+def plan_operator_depths(plan: ExecutionPlan) -> Dict[int, int]:
+    """Depth of every operator of ``plan`` from its root (root = 0), by id."""
+    depths: Dict[int, int] = {}
+
+    def walk(operator: Operator, depth: int) -> None:
+        depths[id(operator)] = depth
+        for port in operator.ports:
+            child = operator.producers.get(port)
+            if child is not None:
+                walk(child, depth + 1)
+
+    walk(plan.root, 0)
+    return depths
+
+
+def wire_queued_plan(
+    plan: ExecutionPlan,
+    context: ExecutionContext,
+    readiness_listener,
+    order_start: int = 0,
+    queue_prefix: str = "",
+) -> Tuple[Dict[Tuple[int, str], InterOperatorQueue], List[ReadyInput]]:
+    """Create one input queue per operator port of ``plan`` and wire outputs.
+
+    Returns the queue map keyed by ``(id(operator), port)`` and the
+    :class:`ReadyInput` templates in registration order (numbered from
+    ``order_start`` so several plans can share one scheduler domain with
+    globally unique, stable orders).  Every queue gets ``readiness_listener``
+    installed so the caller can maintain an incremental ready-set.
+    """
+    depths = plan_operator_depths(plan)
+    input_queues: Dict[Tuple[int, str], InterOperatorQueue] = {}
+    templates: List[ReadyInput] = []
+    for operator in plan.operators:
+        for port in operator.ports:
+            queue = InterOperatorQueue(
+                name=f"{queue_prefix}->{operator.name}.{port}", context=context
+            )
+            input_queues[(id(operator), port)] = queue
+            templates.append(
+                ReadyInput(
+                    operator=operator,
+                    port=port,
+                    queue=queue,
+                    depth=depths.get(id(operator), 0),
+                    order=order_start + len(templates),
+                )
+            )
+            queue.readiness_listener = readiness_listener
+    for operator in plan.operators:
+        if operator.consumer is not None and operator.consumer_port is not None:
+            operator.output_queue = input_queues[
+                (id(operator.consumer), operator.consumer_port)
+            ]
+    return input_queues, templates
+
+
+def drain_ready_incremental(
+    ready: Dict[int, ReadyInput], scheduler: OperatorScheduler, cost
+) -> None:
+    """Run scheduled operators until the incremental ready-set is empty.
+
+    The ready list handed to the scheduler is always sorted by the stable
+    registration index, so scheduling decisions (including FIFO tie-breaks)
+    are independent of the order in which queues became non-empty.
+    """
+    while ready:
+        items = sorted(ready.values(), key=_BY_ORDER)
+        cost.charge(CostKind.SCHEDULER_STEP)
+        choice = items[scheduler.select(items)]
+        tup = choice.queue.pop()
+        choice.operator.process(tup, choice.port)
+
+
+def drain_ready_rescan(
+    ready_meta: Sequence[ReadyInput], scheduler: OperatorScheduler, cost
+) -> None:
+    """The pre-optimization drain loop, kept verbatim as a baseline.
+
+    Scans every queue and rebuilds a fresh ``ReadyInput`` per non-empty one
+    on *every* scheduling step — O(queues) work plus allocations per tuple —
+    exactly what the incremental ready-set replaces.
+    """
+    while True:
+        ready = [
+            ReadyInput(
+                operator=item.operator,
+                port=item.port,
+                queue=item.queue,
+                depth=item.depth,
+                order=item.order,
+            )
+            for item in ready_meta
+            if len(item.queue)
+        ]
+        if not ready:
+            return
+        cost.charge(CostKind.SCHEDULER_STEP)
+        choice = ready[scheduler.select(ready)]
+        tup = choice.queue.pop()
+        choice.operator.process(tup, choice.port)
 
 
 class ExecutionEngine:
@@ -173,41 +289,10 @@ class ExecutionEngine:
 
     def _setup_queues(self) -> None:
         """Create one queue per operator input port and wire producer outputs."""
-        depths = self._operator_depths()
-        for operator in self.plan.operators:
-            for port in operator.ports:
-                queue = InterOperatorQueue(
-                    name=f"->{operator.name}.{port}", context=self.context
-                )
-                self._input_queues[(id(operator), port)] = queue
-                template = ReadyInput(
-                    operator=operator,
-                    port=port,
-                    queue=queue,
-                    depth=depths.get(id(operator), 0),
-                    order=len(self._ready_meta),
-                )
-                self._ready_meta.append(template)
-                self._ready_templates[id(queue)] = template
-                queue.readiness_listener = self._on_queue_readiness
-        for operator in self.plan.operators:
-            if operator.consumer is not None and operator.consumer_port is not None:
-                operator.output_queue = self._input_queues[
-                    (id(operator.consumer), operator.consumer_port)
-                ]
-
-    def _operator_depths(self) -> Dict[int, int]:
-        depths: Dict[int, int] = {}
-
-        def walk(operator: Operator, depth: int) -> None:
-            depths[id(operator)] = depth
-            for port in operator.ports:
-                child = operator.producers.get(port)
-                if child is not None:
-                    walk(child, depth + 1)
-
-        walk(self.plan.root, 0)
-        return depths
+        self._input_queues, self._ready_meta = wire_queued_plan(
+            self.plan, self.context, self._on_queue_readiness
+        )
+        self._ready_templates = {id(item.queue): item for item in self._ready_meta}
 
     def _on_queue_readiness(self, queue: InterOperatorQueue, nonempty: bool) -> None:
         """Fold one queue transition into the incremental ready-set."""
@@ -226,40 +311,9 @@ class ExecutionEngine:
         tie-breaks) coincide between them.
         """
         if self.ready_strategy == ReadyStrategy.RESCAN:
-            self._drain_queues_rescan()
+            drain_ready_rescan(self._ready_meta, self.scheduler, self.context.cost)
             return
-        while self._ready:
-            ready = sorted(self._ready.values(), key=_BY_ORDER)
-            self.context.cost.charge(CostKind.SCHEDULER_STEP)
-            choice = ready[self.scheduler.select(ready)]
-            tup = choice.queue.pop()
-            choice.operator.process(tup, choice.port)
-
-    def _drain_queues_rescan(self) -> None:
-        """The pre-optimization drain loop, kept verbatim as a baseline.
-
-        Scans every queue and rebuilds a fresh ``ReadyInput`` per non-empty
-        one on *every* scheduling step — O(queues) work plus allocations per
-        tuple — exactly what the incremental ready-set replaces.
-        """
-        while True:
-            ready = [
-                ReadyInput(
-                    operator=item.operator,
-                    port=item.port,
-                    queue=item.queue,
-                    depth=item.depth,
-                    order=item.order,
-                )
-                for item in self._ready_meta
-                if len(item.queue)
-            ]
-            if not ready:
-                return
-            self.context.cost.charge(CostKind.SCHEDULER_STEP)
-            choice = ready[self.scheduler.select(ready)]
-            tup = choice.queue.pop()
-            choice.operator.process(tup, choice.port)
+        drain_ready_incremental(self._ready, self.scheduler, self.context.cost)
 
     # -- execution ------------------------------------------------------------------
 
@@ -339,32 +393,54 @@ class ExecutionEngine:
 
 
 def run_workload(
-    plan: ExecutionPlan,
-    events: Sequence[StreamEvent],
-    window_length: float,
+    plan: Optional[ExecutionPlan] = None,
+    events: Sequence[StreamEvent] = (),
+    window_length: Optional[float] = None,
     mode: str = ExecutionMode.SYNCHRONOUS,
     scheduler: Optional[OperatorScheduler] = None,
     keep_results: bool = True,
     ready_strategy: str = ReadyStrategy.INCREMENTAL,
     batch: bool = False,
-) -> RunReport:
-    """Convenience helper: build a fresh context, run ``events`` through ``plan``.
+    engine=None,
+):
+    """Run ``events`` through a plan (or a pre-built engine) and report.
 
-    Parameters mirror :class:`ExecutionEngine`; a new
-    :class:`~repro.context.ExecutionContext` with a window of
-    ``window_length`` seconds is created so repeated calls are independent.
-    ``batch=True`` ingests through :meth:`ExecutionEngine.run_batch`,
+    Without ``engine``, a fresh :class:`~repro.context.ExecutionContext` with
+    a window of ``window_length`` seconds is created around ``plan`` so
+    repeated calls are independent; the remaining parameters mirror
+    :class:`ExecutionEngine`.  With ``engine``, any object exposing
+    ``run(events)`` / ``run_batch(events)`` — a pre-built
+    :class:`ExecutionEngine` or a :class:`~repro.multi.ShardedEngine` — is
+    driven as-is (``plan``, ``window_length`` and the construction parameters
+    must then be omitted), so examples and the sharded multi-query path share
+    this one entry point.  ``batch=True`` ingests through ``run_batch``,
     micro-batching same-timestamp arrivals.
     """
-    from repro.streams.time import Window
+    if engine is None:
+        from repro.streams.time import Window
 
-    context = ExecutionContext(window=Window(window_length))
-    engine = ExecutionEngine(
-        plan,
-        context,
-        mode=mode,
-        scheduler=scheduler,
-        keep_results=keep_results,
-        ready_strategy=ready_strategy,
-    )
+        if plan is None or window_length is None:
+            raise ValueError("run_workload needs either an engine or a plan plus window_length")
+        context = ExecutionContext(window=Window(window_length))
+        engine = ExecutionEngine(
+            plan,
+            context,
+            mode=mode,
+            scheduler=scheduler,
+            keep_results=keep_results,
+            ready_strategy=ready_strategy,
+        )
+    elif (
+        plan is not None
+        or window_length is not None
+        or mode != ExecutionMode.SYNCHRONOUS
+        or scheduler is not None
+        or keep_results is not True
+        or ready_strategy != ReadyStrategy.INCREMENTAL
+    ):
+        # A pre-built engine already fixed its construction parameters;
+        # accepting them here would silently ignore the caller's values.
+        raise ValueError(
+            "pass either a pre-built engine or plan/construction parameters, not both"
+        )
     return engine.run_batch(events) if batch else engine.run(events)

@@ -1,0 +1,50 @@
+"""The stream router: fan each event out only to subscribed shards.
+
+With hundreds of registered queries over a handful of shared streams, the
+dominant ingestion cost is deciding *who cares* about an arriving event.  The
+router precomputes, per source name, the sorted tuple of shard ids hosting at
+least one plan subscribed to that source; dispatch is then a single dict
+lookup per event.  Shards that host no subscriber of a stream never see its
+events, which is what makes N-shard ingestion cheaper than broadcasting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+__all__ = ["StreamRouter"]
+
+
+class StreamRouter:
+    """Maps source names to the shards subscribed to them."""
+
+    def __init__(self) -> None:
+        self._subscriptions: Dict[str, Set[int]] = {}
+        self._cache: Dict[str, Tuple[int, ...]] = {}
+        #: Events submitted for sources with no subscriber (observability).
+        self.dropped_events = 0
+
+    def subscribe(self, source: str, shard_id: int) -> None:
+        """Record that ``shard_id`` hosts a plan consuming ``source``."""
+        self._subscriptions.setdefault(source, set()).add(shard_id)
+        self._cache.pop(source, None)
+
+    def shards_for(self, source: str) -> Tuple[int, ...]:
+        """The sorted shard ids subscribed to ``source`` (empty when none)."""
+        try:
+            return self._cache[source]
+        except KeyError:
+            shards = tuple(sorted(self._subscriptions.get(source, ())))
+            self._cache[source] = shards
+            return shards
+
+    @property
+    def sources(self) -> List[str]:
+        """All source names with at least one subscriber, sorted."""
+        return sorted(self._subscriptions)
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamRouter({len(self._subscriptions)} sources, "
+            f"dropped={self.dropped_events})"
+        )

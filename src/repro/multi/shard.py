@@ -1,0 +1,226 @@
+"""One shard: many plans, one scheduler domain, one clock view.
+
+A :class:`ShardEngine` is the multi-query generalization of the queued
+:class:`~repro.engine.engine.ExecutionEngine`: it hosts the plans of many
+registered queries, gives every operator input port of every hosted plan an
+inter-operator queue, and drains them all under a **single** operator
+scheduler — one scheduler tick can serve any hosted query, which is the
+"sharded multi-query engine" the ROADMAP calls for.  The queued machinery
+(queue wiring, incremental ready-set, drain loops) is shared with the
+single-plan engine via the helpers in :mod:`repro.engine.engine`, so both
+paths exercise identical hot-path code.
+
+Isolation and sharing are deliberately split:
+
+* **Per plan** — operators, queues, result collector, and an
+  :class:`~repro.context.ExecutionContext` carrying the query's own window
+  and a private rng seeded exactly like a standalone run.  Result
+  equivalence with standalone engines follows: a hosted plan sees the same
+  tuples, the same clock values and the same randomness as it would alone.
+* **Per shard** — the scheduler (and its ready-set), the
+  :class:`~repro.multi.clock.ShardClock` view, and the cost/memory models,
+  so a shard is also the unit of metrics aggregation and of concurrency in
+  the thread-per-shard mode.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.context import ExecutionContext
+from repro.engine.engine import (
+    ReadyStrategy,
+    drain_ready_incremental,
+    drain_ready_rescan,
+    wire_queued_plan,
+)
+from repro.engine.results import ResultCollector
+from repro.metrics import CostModel, MemoryModel, MetricsReport
+from repro.multi.clock import ShardClock
+from repro.multi.registry import RegisteredQuery
+from repro.operators.queues import InterOperatorQueue
+from repro.plans.plan import ExecutionPlan
+from repro.scheduler import OperatorScheduler, ReadyInput
+from repro.streams.sources import StreamEvent
+
+__all__ = ["PlanRuntime", "ShardEngine"]
+
+
+@dataclass
+class PlanRuntime:
+    """One hosted query's live execution state on its shard."""
+
+    registered: RegisteredQuery
+    plan: ExecutionPlan
+    context: ExecutionContext
+    collector: ResultCollector
+    shard_id: int
+
+    @property
+    def query_id(self) -> str:
+        return self.registered.query_id
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanRuntime({self.query_id!r}, shard={self.shard_id}, "
+            f"results={self.collector.count})"
+        )
+
+
+class ShardEngine:
+    """Hosts the plans assigned to one shard and drains them together.
+
+    Parameters
+    ----------
+    shard_id:
+        Position of this shard within the sharded engine.
+    scheduler:
+        This shard's operator scheduler instance (schedulers are stateful,
+        so each shard owns its own).
+    clock:
+        The shard's view of the shared virtual clock.
+    ready_strategy:
+        :class:`~repro.engine.engine.ReadyStrategy` constant.
+    keep_results:
+        Whether hosted collectors retain result tuples.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        scheduler: OperatorScheduler,
+        clock: ShardClock,
+        ready_strategy: str = ReadyStrategy.INCREMENTAL,
+        keep_results: bool = True,
+    ) -> None:
+        if ready_strategy not in ReadyStrategy.ALL:
+            raise ValueError(
+                f"unknown ready strategy {ready_strategy!r}; expected one of {ReadyStrategy.ALL}"
+            )
+        self.shard_id = shard_id
+        self.scheduler = scheduler
+        self.clock = clock
+        self.ready_strategy = ready_strategy
+        self.keep_results = keep_results
+        self.cost = CostModel()
+        self.memory = MemoryModel()
+        self.runtimes: List[PlanRuntime] = []
+        self.events_processed = 0
+        self._ready_meta: List[ReadyInput] = []
+        self._ready_templates: Dict[int, ReadyInput] = {}
+        self._ready: Dict[int, ReadyInput] = {}
+        #: Source name -> input queues of every hosted plan consuming it.
+        self._routes: Dict[str, List[InterOperatorQueue]] = {}
+
+    # -- hosting -------------------------------------------------------------
+
+    def host(self, registered: RegisteredQuery) -> PlanRuntime:
+        """Build and wire ``registered``'s plan into this shard."""
+        plan = registered.build_plan()
+        context = ExecutionContext(
+            window=registered.query.window,
+            clock=self.clock,
+            cost=self.cost,
+            memory=self.memory,
+            # Same seed a standalone run_workload context gets, so hosted
+            # plans draw identical randomness (Bloom seeds etc.).
+            rng=random.Random(0),
+        )
+        plan.attach(context)
+        collector = ResultCollector(keep_tuples=self.keep_results)
+        plan.set_result_sink(collector.add)
+        queues, templates = wire_queued_plan(
+            plan,
+            context,
+            self._on_queue_readiness,
+            order_start=len(self._ready_meta),
+            queue_prefix=f"{registered.query_id}:",
+        )
+        self._ready_meta.extend(templates)
+        for template in templates:
+            self._ready_templates[id(template.queue)] = template
+        for source, targets in plan.routing.items():
+            route = self._routes.setdefault(source, [])
+            for operator, port in targets:
+                route.append(queues[(id(operator), port)])
+        context.add_feedback_listener(self.scheduler.notify_feedback)
+        runtime = PlanRuntime(
+            registered=registered,
+            plan=plan,
+            context=context,
+            collector=collector,
+            shard_id=self.shard_id,
+        )
+        self.runtimes.append(runtime)
+        return runtime
+
+    @property
+    def sources(self) -> Tuple[str, ...]:
+        """Sorted source names consumed by at least one hosted plan."""
+        return tuple(sorted(self._routes))
+
+    @property
+    def queue_count(self) -> int:
+        """Number of operator input queues across all hosted plans."""
+        return len(self._ready_meta)
+
+    # -- execution -----------------------------------------------------------
+
+    def _on_queue_readiness(self, queue: InterOperatorQueue, nonempty: bool) -> None:
+        key = id(queue)
+        if nonempty:
+            self._ready[key] = self._ready_templates[key]
+        else:
+            self._ready.pop(key, None)
+
+    def _drain(self) -> None:
+        if self.ready_strategy == ReadyStrategy.RESCAN:
+            drain_ready_rescan(self._ready_meta, self.scheduler, self.cost)
+            return
+        drain_ready_incremental(self._ready, self.scheduler, self.cost)
+
+    def process_event(self, event: StreamEvent) -> None:
+        """Advance this shard's clock, deliver one routed event, drain."""
+        self.clock.advance_to(event.ts)
+        for queue in self._routes.get(event.source, ()):
+            queue.push(event.tuple)
+        self._drain()
+        self.events_processed += 1
+
+    def process_batch(self, events: Sequence[StreamEvent]) -> None:
+        """Deliver a micro-batch of same-timestamp routed events, drain once."""
+        if not events:
+            return
+        ts = events[0].ts
+        for event in events[1:]:
+            if event.ts != ts:
+                raise ValueError(
+                    f"process_batch needs same-timestamp events, got {ts} and {event.ts}"
+                )
+        self.clock.advance_to(ts)
+        for event in events:
+            for queue in self._routes.get(event.source, ()):
+                queue.push(event.tuple)
+        self._drain()
+        self.events_processed += len(events)
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def results_produced(self) -> int:
+        """Total results emitted by every hosted plan."""
+        return sum(runtime.collector.count for runtime in self.runtimes)
+
+    def metrics(self) -> MetricsReport:
+        """Snapshot this shard's aggregated cost/memory models."""
+        return MetricsReport.from_models(
+            self.cost, self.memory, results_produced=self.results_produced
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardEngine(id={self.shard_id}, plans={len(self.runtimes)}, "
+            f"queues={self.queue_count}, events={self.events_processed})"
+        )

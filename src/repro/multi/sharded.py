@@ -1,0 +1,482 @@
+"""The sharded multi-query engine with push-based ingestion.
+
+:class:`ShardedEngine` serves every query of a
+:class:`~repro.multi.registry.QueryRegistry` over shared streams: a
+partitioner assigns each registered plan to one of N
+:class:`~repro.multi.shard.ShardEngine` instances, a
+:class:`~repro.multi.router.StreamRouter` fans each incoming
+:class:`~repro.streams.sources.StreamEvent` out only to subscribed shards,
+and a :class:`~repro.multi.clock.SharedVirtualClock` keeps window purge
+floors and MNS horizons consistent across shards.
+
+Ingestion is **push-based**: sources call :meth:`ShardedEngine.submit` (or
+:meth:`ingest_async`, which micro-batches same-timestamp arrivals at the
+ingestion boundary the way ``run_batch`` does) as events occur; there is no
+pre-merged pull loop.  The classic ``run(events)`` / ``run_batch(events)``
+drivers remain as conveniences built on the push API, so
+:func:`~repro.engine.engine.run_workload` can drive a sharded engine through
+the same entry point as a single-plan engine.
+
+Two drain modes:
+
+* **Synchronous** (default): ``submit`` drains each receiving shard before
+  returning.  Fully deterministic — the mode the equivalence tests run.
+* **Thread-per-shard** (``threaded=True``): each shard owns a worker thread
+  with an ingestion buffer; ``submit`` enqueues and returns, shards drain
+  concurrently, and :meth:`flush` is the barrier.  Each shard still
+  processes its own events in arrival order, and plans never span shards,
+  so per-query results are identical to the synchronous mode (asserted by
+  the test suite) — threading changes *when* work happens, never *what* is
+  computed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from itertools import groupby
+from operator import attrgetter
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.engine import ReadyStrategy
+from repro.engine.results import ResultCollector
+from repro.metrics import MetricsReport
+from repro.multi.clock import SharedVirtualClock
+from repro.multi.partition import resolve_partitioner
+from repro.multi.registry import QueryRegistry
+from repro.multi.router import StreamRouter
+from repro.multi.shard import PlanRuntime, ShardEngine
+from repro.scheduler import OperatorScheduler, build_scheduler
+from repro.streams.sources import StreamEvent
+
+__all__ = ["QueryReport", "MultiRunReport", "ShardedEngine"]
+
+
+@dataclass
+class QueryReport:
+    """One registered query's demultiplexed results."""
+
+    query_id: str
+    description: str
+    shard_id: int
+    results: ResultCollector
+
+    @property
+    def result_count(self) -> int:
+        """Number of results this query produced."""
+        return self.results.count
+
+
+@dataclass
+class MultiRunReport:
+    """Aggregated outcome of driving a sharded engine over a workload."""
+
+    n_queries: int
+    n_shards: int
+    threaded: bool
+    events_ingested: int
+    queries: Dict[str, QueryReport]
+    shard_metrics: Tuple[MetricsReport, ...]
+    wall_seconds: float = 0.0
+    dropped_events: int = 0
+
+    @property
+    def total_results(self) -> int:
+        """Results produced across every registered query."""
+        return sum(report.result_count for report in self.queries.values())
+
+    @property
+    def cpu_units(self) -> float:
+        """Modelled CPU cost units summed over all shards."""
+        return sum(metrics.cpu_units for metrics in self.shard_metrics)
+
+    @property
+    def peak_memory_kb(self) -> float:
+        """Sum of per-shard modelled memory peaks, in KB.
+
+        Shard peaks need not coincide in time, so this is an upper bound on
+        the true simultaneous peak — the safe number for capacity planning.
+        """
+        return sum(metrics.peak_memory_kb for metrics in self.shard_metrics)
+
+    def result_counts(self) -> Dict[str, int]:
+        """Per-query result counts, in registration order."""
+        return {qid: report.result_count for qid, report in self.queries.items()}
+
+    def summary(self) -> str:
+        """One-line summary used by examples and benchmarks."""
+        mode = "threaded" if self.threaded else "sync"
+        return (
+            f"{self.n_queries} queries / {self.n_shards} shard(s) [{mode}]: "
+            f"{self.events_ingested} arrivals -> {self.total_results} results, "
+            f"cpu={self.cpu_units:.0f} units, peak_mem={self.peak_memory_kb:.1f} KB, "
+            f"wall={self.wall_seconds:.3f}s"
+        )
+
+
+class _ShardWorker(threading.Thread):
+    """Worker thread draining one shard's ingestion buffer.
+
+    The router enqueues events (or same-timestamp batches) in arrival order;
+    the worker grabs the whole buffer under the lock and processes it
+    outside, so lock traffic is amortized over bursts rather than paid per
+    event.  A failure poisons the worker: the error is re-raised on the next
+    ``enqueue``/``wait_idle`` so ingestion never silently loses events.
+    """
+
+    def __init__(self, shard: ShardEngine) -> None:
+        super().__init__(name=f"shard-{shard.shard_id}", daemon=True)
+        self.shard = shard
+        self._cond = threading.Condition()
+        self._buffer: Deque[Union[StreamEvent, List[StreamEvent]]] = deque()
+        self._busy = False
+        self._stopping = False
+        self.error: Optional[BaseException] = None
+
+    def enqueue(self, item: Union[StreamEvent, List[StreamEvent]]) -> None:
+        with self._cond:
+            if self.error is not None:
+                raise RuntimeError(
+                    f"shard {self.shard.shard_id} worker already failed"
+                ) from self.error
+            if self._stopping:
+                raise RuntimeError(f"shard {self.shard.shard_id} worker is stopped")
+            self._buffer.append(item)
+            self._cond.notify_all()
+
+    def run(self) -> None:  # pragma: no cover - exercised via threaded tests
+        while True:
+            with self._cond:
+                while not self._buffer and not self._stopping:
+                    self._cond.wait()
+                if not self._buffer and self._stopping:
+                    return
+                chunk = list(self._buffer)
+                self._buffer.clear()
+                self._busy = True
+            try:
+                for item in chunk:
+                    if isinstance(item, list):
+                        self.shard.process_batch(item)
+                    else:
+                        self.shard.process_event(item)
+            except BaseException as exc:
+                with self._cond:
+                    self.error = exc
+                    self._busy = False
+                    self._buffer.clear()
+                    self._cond.notify_all()
+                return
+            with self._cond:
+                self._busy = False
+                self._cond.notify_all()
+
+    def wait_idle(self) -> None:
+        """Block until the buffer is empty and no chunk is being processed."""
+        with self._cond:
+            while (self._buffer or self._busy) and self.error is None:
+                self._cond.wait()
+            if self.error is not None:
+                raise RuntimeError(
+                    f"shard {self.shard.shard_id} worker failed"
+                ) from self.error
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        self.join()
+
+
+class ShardedEngine:
+    """Serves many registered queries across N shard engines.
+
+    Parameters
+    ----------
+    registry:
+        The standing queries to serve.  Plans are built fresh per engine, so
+        one registry can back several engines.
+    n_shards:
+        Number of shard engines to partition the queries across.
+    scheduler:
+        Operator-scheduler policy: a name accepted by
+        :func:`~repro.scheduler.build_scheduler` or a zero-argument factory
+        returning a new :class:`OperatorScheduler` (each shard needs its own
+        stateful instance).
+    ready_strategy:
+        Ready-set maintenance strategy for every shard.
+    keep_results:
+        Whether per-query collectors retain result tuples.
+    threaded:
+        Opt into the thread-per-shard drain mode.
+    partitioner:
+        Query placement policy (callable or name, see
+        :mod:`repro.multi.partition`).
+    """
+
+    def __init__(
+        self,
+        registry: QueryRegistry,
+        n_shards: int = 1,
+        scheduler: Union[str, object] = "fifo",
+        ready_strategy: str = ReadyStrategy.INCREMENTAL,
+        keep_results: bool = True,
+        threaded: bool = False,
+        partitioner=None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"need at least one shard, got {n_shards}")
+        if len(registry) == 0:
+            raise ValueError("the registry has no registered queries")
+        self.registry = registry
+        self.n_shards = n_shards
+        self.threaded = threaded
+        self.clock = SharedVirtualClock()
+        self.router = StreamRouter()
+        self.shards: List[ShardEngine] = [
+            ShardEngine(
+                shard_id=index,
+                scheduler=self._make_scheduler(scheduler),
+                clock=self.clock.view(f"shard-{index}"),
+                ready_strategy=ready_strategy,
+                keep_results=keep_results,
+            )
+            for index in range(n_shards)
+        ]
+        place = resolve_partitioner(partitioner)
+        self._runtimes: Dict[str, PlanRuntime] = {}
+        for index, entry in enumerate(registry):
+            shard_id = place(entry, index, n_shards)
+            if not 0 <= shard_id < n_shards:
+                raise ValueError(
+                    f"partitioner placed {entry.query_id!r} on shard {shard_id}, "
+                    f"outside [0, {n_shards})"
+                )
+            self._runtimes[entry.query_id] = self.shards[shard_id].host(entry)
+            for source in entry.sources:
+                self.router.subscribe(source, shard_id)
+        self.events_ingested = 0
+        self._pending: List[StreamEvent] = []
+        self._pending_ts: Optional[float] = None
+        self._closed = False
+        self._workers: List[_ShardWorker] = []
+        if threaded:
+            self._workers = [_ShardWorker(shard) for shard in self.shards]
+            for worker in self._workers:
+                worker.start()
+
+    @staticmethod
+    def _make_scheduler(scheduler) -> OperatorScheduler:
+        if isinstance(scheduler, str):
+            return build_scheduler(scheduler)
+        if callable(scheduler):
+            made = scheduler()
+            if not isinstance(made, OperatorScheduler):
+                raise TypeError(
+                    f"scheduler factory returned {type(made).__name__}, "
+                    "expected an OperatorScheduler"
+                )
+            return made
+        raise TypeError(
+            "scheduler must be a policy name or a zero-argument factory; "
+            f"got {scheduler!r} (schedulers are stateful, so instances cannot "
+            "be shared across shards)"
+        )
+
+    # -- push-based ingestion -------------------------------------------------
+
+    def submit(self, event: StreamEvent) -> None:
+        """Push one event into the engine.
+
+        Synchronous mode drains every receiving shard before returning;
+        threaded mode hands the event to the subscribed shard workers and
+        returns immediately (:meth:`flush` is the barrier).
+        """
+        self._check_open()
+        self._flush_pending()
+        self._dispatch_event(event)
+
+    def ingest_async(self, event: StreamEvent) -> None:
+        """Push one event without waiting for its processing.
+
+        In threaded mode this is exactly :meth:`submit`.  In synchronous
+        mode, same-timestamp arrivals are micro-batched at the ingestion
+        boundary (the ``run_batch`` policy): the pending batch is processed
+        when the next timestamp begins or on :meth:`flush`, amortizing clock
+        advances and drain loops across the batch.
+        """
+        self._check_open()
+        if self.threaded:
+            self._dispatch_event(event)
+            return
+        if self._pending and event.ts != self._pending_ts:
+            self._flush_pending()
+        self._pending.append(event)
+        self._pending_ts = event.ts
+
+    def submit_batch(self, events: Sequence[StreamEvent]) -> None:
+        """Push a micro-batch of same-timestamp events."""
+        self._check_open()
+        self._flush_pending()
+        self._dispatch_batch(list(events))
+
+    def flush(self) -> None:
+        """Process buffered arrivals and wait until every shard is idle."""
+        self._check_open()
+        self._flush_pending()
+        for worker in self._workers:
+            worker.wait_idle()
+
+    # -- internal dispatch ----------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("the sharded engine is closed")
+
+    def _flush_pending(self) -> None:
+        if self._pending:
+            batch, self._pending, self._pending_ts = self._pending, [], None
+            self._dispatch_batch(batch)
+
+    def _dispatch_event(self, event: StreamEvent) -> None:
+        self.clock.observe(event.ts)
+        self.events_ingested += 1
+        shard_ids = self.router.shards_for(event.source)
+        if not shard_ids:
+            self.router.dropped_events += 1
+            return
+        for shard_id in shard_ids:
+            if self.threaded:
+                self._workers[shard_id].enqueue(event)
+            else:
+                self.shards[shard_id].process_event(event)
+
+    def _dispatch_batch(self, events: List[StreamEvent]) -> None:
+        if not events:
+            return
+        ts = events[0].ts
+        for event in events[1:]:
+            if event.ts != ts:
+                raise ValueError(
+                    f"submit_batch needs same-timestamp events, got {ts} and {event.ts}"
+                )
+        self.clock.observe(ts)
+        self.events_ingested += len(events)
+        per_shard: Dict[int, List[StreamEvent]] = {}
+        for event in events:
+            shard_ids = self.router.shards_for(event.source)
+            if not shard_ids:
+                self.router.dropped_events += 1
+                continue
+            for shard_id in shard_ids:
+                per_shard.setdefault(shard_id, []).append(event)
+        for shard_id, shard_events in sorted(per_shard.items()):
+            if self.threaded:
+                self._workers[shard_id].enqueue(shard_events)
+            else:
+                self.shards[shard_id].process_batch(shard_events)
+
+    # -- pull-style drivers (built on the push API) ---------------------------
+
+    def run(self, events: Iterable[StreamEvent]) -> MultiRunReport:
+        """Drive a pre-merged event sequence through :meth:`submit` and report."""
+        start = time.perf_counter()
+        for event in events:
+            self.submit(event)
+        self.flush()
+        return self.report(wall_seconds=time.perf_counter() - start)
+
+    def run_batch(self, events: Iterable[StreamEvent]) -> MultiRunReport:
+        """Like :meth:`run`, micro-batching same-timestamp arrivals."""
+        start = time.perf_counter()
+        for _ts, group in groupby(events, key=attrgetter("ts")):
+            self.submit_batch(list(group))
+        self.flush()
+        return self.report(wall_seconds=time.perf_counter() - start)
+
+    # -- results and reporting ------------------------------------------------
+
+    def runtime_for(self, query_id: str) -> PlanRuntime:
+        """The live runtime (plan, context, collector) of one query."""
+        try:
+            return self._runtimes[query_id]
+        except KeyError:
+            raise KeyError(
+                f"no query {query_id!r}; registered: {list(self._runtimes)}"
+            ) from None
+
+    def results_for(self, query_id: str) -> ResultCollector:
+        """The demultiplexed result collector of one query."""
+        return self.runtime_for(query_id).collector
+
+    def report(self, wall_seconds: float = 0.0) -> MultiRunReport:
+        """Snapshot an aggregated report over every query and shard."""
+        queries = {
+            query_id: QueryReport(
+                query_id=query_id,
+                description=runtime.registered.describe(),
+                shard_id=runtime.shard_id,
+                results=runtime.collector,
+            )
+            for query_id, runtime in self._runtimes.items()
+        }
+        return MultiRunReport(
+            n_queries=len(self._runtimes),
+            n_shards=self.n_shards,
+            threaded=self.threaded,
+            events_ingested=self.events_ingested,
+            queries=queries,
+            shard_metrics=tuple(shard.metrics() for shard in self.shards),
+            wall_seconds=wall_seconds,
+            dropped_events=self.router.dropped_events,
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush buffered work, stop shard workers, and surface any worker
+        failure (idempotent).
+
+        A worker that died mid-run poisons ``enqueue``/``wait_idle``, but a
+        caller that never flushes after its last submit would otherwise exit
+        cleanly with truncated results — so ``close`` re-raises the first
+        stored worker error after joining every thread.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        error: Optional[BaseException] = None
+        try:
+            self._flush_pending()
+        except BaseException as exc:
+            error = exc
+        for worker in self._workers:
+            worker.stop()
+            if error is None and worker.error is not None:
+                error = RuntimeError(f"shard {worker.shard.shard_id} worker failed")
+                error.__cause__ = worker.error
+        if error is not None:
+            raise error
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            # An exception is already propagating; don't let a teardown
+            # error (often a consequence of the same failure) mask it.
+            try:
+                self.close()
+            except BaseException:
+                pass
+            return
+        self.close()
+
+    def __repr__(self) -> str:
+        mode = "threaded" if self.threaded else "sync"
+        return (
+            f"ShardedEngine({len(self._runtimes)} queries, {self.n_shards} "
+            f"shard(s), {mode}, ingested={self.events_ingested})"
+        )

@@ -1,0 +1,402 @@
+"""Tests for the sharded multi-query engine (repro.multi).
+
+The central property: K queries served through a :class:`ShardedEngine` —
+with 1 shard, N shards, and the thread-per-shard mode, under every scheduler
+policy — produce exactly the same per-query results as K independent
+:class:`ExecutionEngine` runs.  Plus unit coverage for the registry, the
+shared virtual clock, the router, the partitioners, the push-based ingestion
+paths, and the reusable ``run_workload`` entry point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ExecutionMode, ReadyStrategy, run_workload
+from repro.multi import (
+    MultiQueryWorkload,
+    QueryRegistry,
+    ShardedEngine,
+    SharedVirtualClock,
+    StreamRouter,
+    generate_multi_query_workload,
+    hash_partition,
+    round_robin_partition,
+)
+from repro.plans.builder import STRATEGY_JIT, STRATEGY_REF, build_xjoin_plan
+from repro.plans.query import ContinuousQuery
+from repro.scheduler import build_scheduler
+from repro.streams.generators import generate_clique_workload
+from repro.streams.schema import SourceSchema, StreamCatalog
+from repro.streams.time import Window
+
+ALL_POLICIES = ("fifo", "round_robin", "priority", "jit_aware")
+
+#: (n_shards, threaded) configurations the equivalence sweep covers.
+SHARD_CONFIGS = ((1, False), (3, False), (3, True))
+
+
+@pytest.fixture(scope="module")
+def shared_workload():
+    """Eight standing queries over five shared streams, dense enough to
+    exercise suspension/resumption traffic (small dmax, live window)."""
+    return generate_multi_query_workload(
+        n_queries=8, n_sources=5, rate=0.8, window_seconds=20, dmax=4, duration=120, seed=3
+    )
+
+
+@pytest.fixture(scope="module")
+def shared_events(shared_workload):
+    return shared_workload.events()
+
+
+def _registry(workload: MultiQueryWorkload) -> QueryRegistry:
+    """Register the workload's queries, alternating REF and JIT strategies."""
+    registry = QueryRegistry()
+    for index, query in enumerate(workload.queries()):
+        registry.register(
+            query, strategy=STRATEGY_JIT if index % 2 else STRATEGY_REF
+        )
+    return registry
+
+
+@pytest.fixture(scope="module")
+def standalone_multisets(shared_workload, shared_events):
+    """Ground truth: each query run alone through a synchronous engine."""
+    out = {}
+    for entry in _registry(shared_workload):
+        subscribed = [e for e in shared_events if e.source in entry.sources]
+        report = run_workload(entry.build_plan(), subscribed, entry.query.window.length)
+        out[entry.query_id] = report.results.multiset()
+    return out
+
+
+# ------------------------------------------------------------------ equivalence
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    @pytest.mark.parametrize("n_shards,threaded", SHARD_CONFIGS)
+    def test_matches_standalone_runs(
+        self, shared_workload, shared_events, standalone_multisets, policy, n_shards, threaded
+    ):
+        registry = _registry(shared_workload)
+        with ShardedEngine(
+            registry, n_shards=n_shards, scheduler=policy, threaded=threaded
+        ) as engine:
+            report = engine.run(shared_events)
+            for query_id, expected in standalone_multisets.items():
+                assert engine.results_for(query_id).multiset() == expected, (
+                    f"{policy}/{n_shards} shard(s)/threaded={threaded}: "
+                    f"query {query_id} diverged from its standalone run"
+                )
+        assert report.events_ingested == len(shared_events)
+        assert report.total_results == sum(
+            sum(ms.values()) for ms in standalone_multisets.values()
+        )
+
+    @pytest.mark.parametrize("n_shards,threaded", SHARD_CONFIGS)
+    def test_run_batch_matches(
+        self, shared_workload, shared_events, standalone_multisets, n_shards, threaded
+    ):
+        registry = _registry(shared_workload)
+        with ShardedEngine(registry, n_shards=n_shards, threaded=threaded) as engine:
+            engine.run_batch(shared_events)
+            for query_id, expected in standalone_multisets.items():
+                assert engine.results_for(query_id).multiset() == expected
+
+    def test_rescan_strategy_matches(
+        self, shared_workload, shared_events, standalone_multisets
+    ):
+        registry = _registry(shared_workload)
+        with ShardedEngine(
+            registry, n_shards=2, ready_strategy=ReadyStrategy.RESCAN
+        ) as engine:
+            engine.run(shared_events)
+            for query_id, expected in standalone_multisets.items():
+                assert engine.results_for(query_id).multiset() == expected
+
+    def test_push_api_matches(self, shared_workload, shared_events, standalone_multisets):
+        """submit / ingest_async produce what run() produces."""
+        registry = _registry(shared_workload)
+        with ShardedEngine(registry, n_shards=2) as engine:
+            for event in shared_events:
+                engine.ingest_async(event)
+            engine.flush()
+            for query_id, expected in standalone_multisets.items():
+                assert engine.results_for(query_id).multiset() == expected
+
+    def test_threaded_runs_are_deterministic(self, shared_workload, shared_events):
+        counts = []
+        for _ in range(2):
+            with ShardedEngine(
+                _registry(shared_workload), n_shards=3, threaded=True
+            ) as engine:
+                counts.append(engine.run(shared_events).result_counts())
+        assert counts[0] == counts[1]
+
+    def test_per_query_windows_are_respected(self):
+        """Two queries with different windows on the same streams coexist."""
+        base = generate_clique_workload(
+            n_sources=2, rate=1.0, window_seconds=10, dmax=3, duration=80, seed=5
+        )
+        events = base.events()
+        registry = QueryRegistry()
+        expected = {}
+        for window_seconds in (5.0, 30.0):
+            query = ContinuousQuery(
+                sources=base.names,
+                window=Window(window_seconds),
+                predicate=ContinuousQuery.from_workload(base).predicate,
+            )
+            entry = registry.register(query, query_id=f"w{window_seconds:g}")
+            expected[entry.query_id] = run_workload(
+                entry.build_plan(), events, window_seconds
+            ).results.multiset()
+        assert expected["w5"] != expected["w30"]  # windows actually differ
+        with ShardedEngine(registry, n_shards=2) as engine:
+            engine.run(events)
+            for query_id, multiset in expected.items():
+                assert engine.results_for(query_id).multiset() == multiset
+
+
+# ------------------------------------------------------------------ components
+
+
+class TestQueryRegistry:
+    def test_auto_ids_and_lookup(self, shared_workload):
+        registry = _registry(shared_workload)
+        assert registry.ids == [f"q{i}" for i in range(8)]
+        assert "q3" in registry and "nope" not in registry
+        assert registry.get("q3").query_id == "q3"
+        with pytest.raises(KeyError, match="known ids"):
+            registry.get("nope")
+
+    def test_duplicate_id_rejected(self, shared_workload):
+        registry = QueryRegistry()
+        query = shared_workload.query(0)
+        registry.register(query, query_id="dup")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(query, query_id="dup")
+
+    def test_register_cql(self):
+        catalog = StreamCatalog.from_schemas(
+            [SourceSchema.of("A", ("x",)), SourceSchema.of("B", ("x",))]
+        )
+        registry = QueryRegistry()
+        entry = registry.register_cql(
+            "SELECT * FROM A [RANGE 60 seconds], B [RANGE 60 seconds] WHERE A.x = B.x",
+            catalog=catalog,
+            strategy=STRATEGY_REF,
+        )
+        assert entry.sources == frozenset({"A", "B"})
+        assert registry.sources == {"A", "B"}
+
+    def test_single_source_query_rejected(self):
+        from repro.operators.predicates import JoinPredicate
+
+        query = ContinuousQuery(
+            sources=("A",), window=Window(10.0), predicate=JoinPredicate(())
+        )
+        registry = QueryRegistry()
+        with pytest.raises(ValueError, match="single source"):
+            registry.register(query)
+
+    def test_build_plan_is_fresh_per_call(self, shared_workload):
+        entry = _registry(shared_workload).get("q0")
+        plan_a, plan_b = entry.build_plan(), entry.build_plan()
+        assert plan_a.operators[0] is not plan_b.operators[0]
+
+
+class TestSharedVirtualClock:
+    def test_views_cannot_outrun_watermark(self):
+        clock = SharedVirtualClock()
+        view = clock.view("s0")
+        clock.observe(5.0)
+        assert view.advance_to(5.0) == 5.0
+        with pytest.raises(RuntimeError, match="ahead of the ingestion watermark"):
+            view.advance_to(7.0)
+
+    def test_min_progress_tracks_slowest_shard(self):
+        clock = SharedVirtualClock()
+        fast, slow = clock.view("fast"), clock.view("slow")
+        clock.observe(10.0)
+        fast.advance_to(10.0)
+        slow.advance_to(4.0)
+        assert clock.watermark == 10.0
+        assert clock.min_progress == 4.0
+
+    def test_reset(self):
+        clock = SharedVirtualClock()
+        view = clock.view("s0")
+        clock.observe(9.0)
+        view.advance_to(9.0)
+        clock.reset()
+        assert clock.watermark == 0.0
+        assert view.now == 0.0
+
+
+class TestRouterAndPartition:
+    def test_router_dedups_and_sorts(self):
+        router = StreamRouter()
+        for shard in (2, 0, 2, 1):
+            router.subscribe("A", shard)
+        assert router.shards_for("A") == (0, 1, 2)
+        assert router.shards_for("unknown") == ()
+        router.subscribe("A", 3)  # cache invalidation
+        assert router.shards_for("A") == (0, 1, 2, 3)
+
+    def test_round_robin_spreads_evenly(self, shared_workload):
+        registry = _registry(shared_workload)
+        with ShardedEngine(registry, n_shards=4) as engine:
+            loads = [len(shard.runtimes) for shard in engine.shards]
+        assert loads == [2, 2, 2, 2]
+
+    def test_hash_partition_is_stable(self, shared_workload):
+        entry = _registry(shared_workload).get("q0")
+        assert hash_partition(entry, 0, 4) == hash_partition(entry, 99, 4)
+        assert 0 <= hash_partition(entry, 0, 4) < 4
+
+    def test_partitioner_by_name(self, shared_workload, shared_events, standalone_multisets):
+        registry = _registry(shared_workload)
+        with ShardedEngine(registry, n_shards=3, partitioner="hash") as engine:
+            engine.run(shared_events)
+            for query_id, expected in standalone_multisets.items():
+                assert engine.results_for(query_id).multiset() == expected
+
+    def test_bad_partitioner_rejected(self, shared_workload):
+        registry = _registry(shared_workload)
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            ShardedEngine(registry, n_shards=2, partitioner="nope")
+        with pytest.raises(ValueError, match="outside"):
+            ShardedEngine(registry, n_shards=2, partitioner=lambda e, i, n: 7)
+
+
+class TestShardedEngineAPI:
+    def test_events_for_unsubscribed_sources_are_counted_dropped(self, shared_workload):
+        registry = QueryRegistry()
+        registry.register(shared_workload.query(0))  # subscribes a source subset
+        events = shared_workload.events()
+        subscribed = registry.sources
+        with ShardedEngine(registry) as engine:
+            report = engine.run(events)
+        outside = sum(1 for e in events if e.source not in subscribed)
+        assert outside > 0
+        assert report.dropped_events == outside
+        assert report.events_ingested == len(events)
+
+    def test_scheduler_instance_rejected(self, shared_workload):
+        registry = _registry(shared_workload)
+        with pytest.raises(TypeError, match="factory"):
+            ShardedEngine(registry, n_shards=2, scheduler=build_scheduler("fifo"))
+
+    def test_scheduler_factory_accepted(self, shared_workload, shared_events):
+        registry = _registry(shared_workload)
+        with ShardedEngine(
+            registry, n_shards=2, scheduler=lambda: build_scheduler("round_robin")
+        ) as engine:
+            report = engine.run(shared_events)
+        assert report.total_results > 0
+
+    def test_empty_registry_rejected(self):
+        with pytest.raises(ValueError, match="no registered queries"):
+            ShardedEngine(QueryRegistry())
+
+    def test_closed_engine_rejects_submits(self, shared_workload, shared_events):
+        engine = ShardedEngine(_registry(shared_workload))
+        engine.close()
+        engine.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.submit(shared_events[0])
+
+    def test_worker_failure_surfaces_on_close(self, shared_workload, shared_events):
+        """A worker that dies mid-run must not let close() succeed silently."""
+        engine = ShardedEngine(_registry(shared_workload), n_shards=2, threaded=True)
+        engine.submit(shared_events[0])
+        engine.flush()
+        # Sabotage shard 0's drain so its worker dies on the next event.
+        engine.shards[0]._drain = lambda: (_ for _ in ()).throw(RuntimeError("boom"))
+        for event in shared_events[1:10]:
+            engine.submit(event)
+        with pytest.raises(RuntimeError, match="worker failed"):
+            engine.close()
+        engine.close()  # already closed: stays a no-op, raises nothing
+
+    def test_report_shape(self, shared_workload, shared_events):
+        registry = _registry(shared_workload)
+        with ShardedEngine(registry, n_shards=3) as engine:
+            report = engine.run(shared_events)
+        assert report.n_queries == 8 and report.n_shards == 3
+        assert set(report.result_counts()) == set(registry.ids)
+        assert len(report.shard_metrics) == 3
+        assert report.cpu_units > 0
+        assert "8 queries / 3 shard(s) [sync]" in report.summary()
+        per_shard = {}
+        for query_report in report.queries.values():
+            per_shard.setdefault(query_report.shard_id, 0)
+            per_shard[query_report.shard_id] += query_report.result_count
+        for shard_id, metrics in enumerate(report.shard_metrics):
+            assert metrics.results_produced == per_shard.get(shard_id, 0)
+
+
+class TestRunWorkloadReuse:
+    def test_prebuilt_single_engine(self, shared_workload, shared_events):
+        """run_workload drives a pre-built ExecutionEngine unchanged."""
+        from repro.context import ExecutionContext
+        from repro.engine.engine import ExecutionEngine
+
+        entry = _registry(shared_workload).get("q0")
+        subscribed = [e for e in shared_events if e.source in entry.sources]
+        expected = run_workload(
+            entry.build_plan(), subscribed, entry.query.window.length
+        ).results.multiset()
+        context = ExecutionContext(window=entry.query.window)
+        engine = ExecutionEngine(entry.build_plan(), context, mode=ExecutionMode.QUEUED)
+        report = run_workload(events=subscribed, engine=engine)
+        assert report.results.multiset() == expected
+
+    def test_sharded_engine_through_run_workload(self, shared_workload, shared_events):
+        registry = _registry(shared_workload)
+        with ShardedEngine(registry, n_shards=2) as engine:
+            report = run_workload(events=shared_events, engine=engine, batch=True)
+        assert report.events_ingested == len(shared_events)
+
+    def test_engine_and_plan_are_exclusive(self, shared_workload, shared_events):
+        entry = _registry(shared_workload).get("q0")
+        with ShardedEngine(_registry(shared_workload)) as engine:
+            with pytest.raises(ValueError, match="not both"):
+                run_workload(
+                    entry.build_plan(), shared_events, 20.0, engine=engine
+                )
+            # Construction parameters are fixed by the pre-built engine and
+            # must be rejected rather than silently ignored.
+            with pytest.raises(ValueError, match="not both"):
+                run_workload(events=shared_events, engine=engine, keep_results=False)
+            with pytest.raises(ValueError, match="not both"):
+                run_workload(
+                    events=shared_events, engine=engine, mode=ExecutionMode.QUEUED
+                )
+        with pytest.raises(ValueError, match="needs either"):
+            run_workload(events=shared_events)
+
+
+class TestMultiQueryWorkload:
+    def test_queries_are_valid_subcliques(self, shared_workload):
+        for k, query in enumerate(shared_workload.queries()):
+            assert set(query.sources) <= set(shared_workload.base.names)
+            n = query.n_sources
+            assert len(query.predicate.conditions) == n * (n - 1) // 2
+
+    def test_subscription_counts_cover_all_queries(self, shared_workload):
+        counts = shared_workload.subscription_counts()
+        widths = [
+            len(shared_workload.query_sources(k))
+            for k in range(shared_workload.n_queries)
+        ]
+        assert sum(counts.values()) == sum(widths)
+
+    def test_invalid_width_rejected(self, shared_workload):
+        with pytest.raises(ValueError, match="width"):
+            MultiQueryWorkload(
+                base=shared_workload.base, n_queries=2, sources_per_query=(9,)
+            )

@@ -70,6 +70,18 @@ class ExecutionContext:
         if listener not in self.feedback_listeners:
             self.feedback_listeners.append(listener)
 
+    def remove_feedback_listener(self, listener: FeedbackListener) -> None:
+        """Deregister a feedback observer (no-op when absent).
+
+        Used when a hosted plan is retired from a shard: the shard's
+        scheduler must stop observing the retired context, or a later replay
+        of the archived plan would mutate a scheduler it no longer belongs to.
+        """
+        try:
+            self.feedback_listeners.remove(listener)
+        except ValueError:
+            pass
+
     def notify_feedback(self, producer: object, consumer: object, kind: str) -> None:
         """Tell every registered listener that feedback was delivered.
 

@@ -11,6 +11,7 @@ from repro.engine.engine import (
     ExecutionMode,
     ReadyStrategy,
     RunReport,
+    SchedulerStrategy,
     run_workload,
 )
 from repro.engine.results import ResultCollector, result_key, result_multiset
@@ -19,6 +20,7 @@ __all__ = [
     "ExecutionEngine",
     "ExecutionMode",
     "ReadyStrategy",
+    "SchedulerStrategy",
     "RunReport",
     "run_workload",
     "ResultCollector",

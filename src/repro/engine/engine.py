@@ -20,12 +20,18 @@ Queued-mode hot-path design:
 * **Incremental ready-set.**  The drain loop used to rebuild the list of
   runnable inputs by scanning *every* queue per scheduling step (O(queues)
   per tuple).  Queues now carry a readiness listener that fires on their
-  empty<->non-empty transitions, and the engine folds those transitions into
-  a ready-set keyed by (operator, port); each step only sorts the currently
-  ready inputs by their stable registration index, so scheduling work is
-  proportional to the number of runnable inputs, not to plan size.  The
-  registration index reproduces the scan order of the old rescan loop, which
-  keeps FIFO tie-breaking (and therefore result order) identical.
+  empty<->non-empty transitions; the rescan loop is kept as the
+  ``ReadyStrategy.RESCAN`` baseline.
+* **Indexed scheduling.**  With ``SchedulerStrategy.INDEXED`` (the default),
+  queue transitions flow straight into the scheduler as deltas
+  (``on_ready`` / ``on_unready``, plus ``on_head_change`` after each pop)
+  and each step asks ``pop_next()`` — the policies answer from indexed
+  structures (lazy heaps keyed on head timestamps, served-order rotations),
+  so one scheduling step costs O(log ready).  ``SchedulerStrategy.SELECT``
+  keeps the previous loop — sort the ready-set by stable registration index
+  and call ``select()`` — as the equivalence/benchmark baseline; both
+  produce bit-identical schedules (the heaps tie-break on the same
+  registration index the sorted list is ordered by).
 * **Feedback-aware scheduling.**  The engine registers its scheduler as a
   feedback listener on the execution context; operators notify the context
   whenever a suspension/resumption message is delivered, which lets
@@ -50,17 +56,26 @@ from repro.metrics import CostKind, MetricsReport
 from repro.operators.base import Operator
 from repro.operators.queues import InterOperatorQueue
 from repro.plans.plan import ExecutionPlan
-from repro.scheduler import OperatorScheduler, ReadyInput, build_scheduler
+from repro.scheduler import (
+    OperatorScheduler,
+    ReadyInput,
+    SchedulerStrategy,
+    build_scheduler,
+)
 from repro.streams.sources import StreamEvent
 
 __all__ = [
     "ExecutionMode",
     "ReadyStrategy",
+    "SchedulerStrategy",
     "RunReport",
     "ExecutionEngine",
     "run_workload",
     "plan_operator_depths",
     "wire_queued_plan",
+    "resolve_scheduler_strategy",
+    "install_indexed_listeners",
+    "drain_ready_indexed",
     "drain_ready_incremental",
     "drain_ready_rescan",
 ]
@@ -184,14 +199,91 @@ def wire_queued_plan(
     return input_queues, templates
 
 
+def resolve_scheduler_strategy(
+    scheduler_strategy: Optional[str], ready_strategy: str
+) -> str:
+    """Resolve (and validate) the scheduler strategy for a queued engine.
+
+    ``None`` picks the natural pairing: the indexed scheduler on top of the
+    incremental ready-set, the legacy select loop for the rescan baseline
+    (which rebuilds the ready list per step by construction and therefore
+    cannot feed deltas).  Asking for INDEXED together with RESCAN is a
+    contradiction and is rejected.
+    """
+    if scheduler_strategy is None:
+        if ready_strategy == ReadyStrategy.INCREMENTAL:
+            return SchedulerStrategy.INDEXED
+        return SchedulerStrategy.SELECT
+    if scheduler_strategy not in SchedulerStrategy.ALL:
+        raise ValueError(
+            f"unknown scheduler strategy {scheduler_strategy!r}; "
+            f"expected one of {SchedulerStrategy.ALL}"
+        )
+    if (
+        scheduler_strategy == SchedulerStrategy.INDEXED
+        and ready_strategy == ReadyStrategy.RESCAN
+    ):
+        raise ValueError(
+            "the rescan ready strategy rebuilds the ready list per step and "
+            "cannot drive the indexed scheduler; use SchedulerStrategy.SELECT"
+        )
+    return scheduler_strategy
+
+
+def install_indexed_listeners(
+    templates: Sequence[ReadyInput], scheduler: OperatorScheduler
+) -> None:
+    """Point each template queue's readiness listener at the scheduler.
+
+    Every queue gets its own closure with the template and the scheduler's
+    delta methods pre-bound, so a transition costs one call and one branch —
+    no per-event dict lookup to recover the template.
+    """
+    on_ready = scheduler.on_ready
+    on_unready = scheduler.on_unready
+    for item in templates:
+        def listener(
+            queue, nonempty, _item=item, _on_ready=on_ready, _on_unready=on_unready
+        ):
+            if nonempty:
+                _on_ready(_item)
+            else:
+                _on_unready(_item)
+
+        item.queue.readiness_listener = listener
+
+
+def drain_ready_indexed(scheduler: OperatorScheduler, cost) -> None:
+    """Run scheduled operators until the indexed scheduler has no ready input.
+
+    Queue transitions reach the scheduler through the readiness listeners
+    (``on_ready`` / ``on_unready``); this loop only has to report the head
+    change after each pop so the scheduler's keys track the new head tuple.
+    """
+    ready_count = scheduler.ready_count
+    pop_next = scheduler.pop_next
+    on_head_change = scheduler.on_head_change
+    charge = cost.charge
+    step = CostKind.SCHEDULER_STEP
+    while ready_count():
+        charge(step)
+        choice = pop_next()
+        queue = choice.queue
+        tup = queue.pop()
+        if queue:
+            on_head_change(choice)
+        choice.operator.process(tup, choice.port)
+
+
 def drain_ready_incremental(
     ready: Dict[int, ReadyInput], scheduler: OperatorScheduler, cost
 ) -> None:
     """Run scheduled operators until the incremental ready-set is empty.
 
-    The ready list handed to the scheduler is always sorted by the stable
-    registration index, so scheduling decisions (including FIFO tie-breaks)
-    are independent of the order in which queues became non-empty.
+    The ``SchedulerStrategy.SELECT`` drain over the incremental ready-set:
+    every step sorts the ready inputs by their stable registration index and
+    asks ``select()`` — O(ready log ready) per step, kept as the baseline
+    the indexed path is verified and benchmarked against.
     """
     while ready:
         items = sorted(ready.values(), key=_BY_ORDER)
@@ -250,6 +342,12 @@ class ExecutionEngine:
     ready_strategy:
         Queued mode only: :class:`ReadyStrategy` constant selecting how
         runnable inputs are discovered (incremental ready-set by default).
+    scheduler_strategy:
+        Queued mode only: :class:`~repro.scheduler.SchedulerStrategy`
+        constant selecting how the scheduler is driven — the indexed
+        delta/``pop_next`` interface or the legacy sorted-``select`` loop.
+        ``None`` (default) resolves to INDEXED on the incremental ready-set
+        and SELECT on the rescan baseline.
     """
 
     def __init__(
@@ -260,6 +358,7 @@ class ExecutionEngine:
         scheduler: Optional[OperatorScheduler] = None,
         keep_results: bool = True,
         ready_strategy: str = ReadyStrategy.INCREMENTAL,
+        scheduler_strategy: Optional[str] = None,
     ) -> None:
         if mode not in ExecutionMode.ALL:
             raise ValueError(f"unknown execution mode {mode!r}; expected one of {ExecutionMode.ALL}")
@@ -270,8 +369,11 @@ class ExecutionEngine:
         self.plan = plan
         self.context = context
         self.mode = mode
-        self.scheduler = scheduler or build_scheduler("fifo")
+        self.scheduler = scheduler if scheduler is not None else build_scheduler("fifo")
         self.ready_strategy = ready_strategy
+        self.scheduler_strategy = resolve_scheduler_strategy(
+            scheduler_strategy, ready_strategy
+        )
         self.collector = ResultCollector(keep_tuples=keep_results)
         if not plan.is_attached:
             plan.attach(context)
@@ -293,6 +395,9 @@ class ExecutionEngine:
             self.plan, self.context, self._on_queue_readiness
         )
         self._ready_templates = {id(item.queue): item for item in self._ready_meta}
+        if self.scheduler_strategy == SchedulerStrategy.INDEXED:
+            # Queue transitions flow straight into the scheduler as deltas.
+            install_indexed_listeners(self._ready_meta, self.scheduler)
 
     def _on_queue_readiness(self, queue: InterOperatorQueue, nonempty: bool) -> None:
         """Fold one queue transition into the incremental ready-set."""
@@ -305,13 +410,15 @@ class ExecutionEngine:
     def _drain_queues(self) -> None:
         """Run scheduled operators until every input queue is empty.
 
-        The ready list handed to the scheduler is always sorted by the
-        stable registration index, so both strategies present ready inputs
-        in the identical order and every policy's decisions (including FIFO
-        tie-breaks) coincide between them.
+        All three drains make identical scheduling decisions: the select
+        paths present ready inputs sorted by the stable registration index,
+        and the indexed policies tie-break on that same index.
         """
         if self.ready_strategy == ReadyStrategy.RESCAN:
             drain_ready_rescan(self._ready_meta, self.scheduler, self.context.cost)
+            return
+        if self.scheduler_strategy == SchedulerStrategy.INDEXED:
+            drain_ready_indexed(self.scheduler, self.context.cost)
             return
         drain_ready_incremental(self._ready, self.scheduler, self.context.cost)
 
@@ -400,6 +507,7 @@ def run_workload(
     scheduler: Optional[OperatorScheduler] = None,
     keep_results: bool = True,
     ready_strategy: str = ReadyStrategy.INCREMENTAL,
+    scheduler_strategy: Optional[str] = None,
     batch: bool = False,
     engine=None,
 ):
@@ -429,6 +537,7 @@ def run_workload(
             scheduler=scheduler,
             keep_results=keep_results,
             ready_strategy=ready_strategy,
+            scheduler_strategy=scheduler_strategy,
         )
     elif (
         plan is not None
@@ -437,6 +546,7 @@ def run_workload(
         or scheduler is not None
         or keep_results is not True
         or ready_strategy != ReadyStrategy.INCREMENTAL
+        or scheduler_strategy is not None
     ):
         # A pre-built engine already fixed its construction parameters;
         # accepting them here would silently ignore the caller's values.

@@ -21,19 +21,30 @@ Isolation and sharing are deliberately split:
   :class:`~repro.multi.clock.ShardClock` view, and the cost/memory models,
   so a shard is also the unit of metrics aggregation and of concurrency in
   the thread-per-shard mode.
+
+Scheduler deltas are thread-safe by construction in the threaded mode: a
+shard's queues are only pushed and popped inside ``process_event`` /
+``process_batch``, which run exclusively on that shard's worker thread, so
+every ``on_ready`` / ``on_unready`` / ``pop_next`` of a scheduler domain is
+issued by one thread (the ingestion thread only appends to the worker's
+buffer).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.context import ExecutionContext
 from repro.engine.engine import (
     ReadyStrategy,
+    SchedulerStrategy,
     drain_ready_incremental,
+    drain_ready_indexed,
     drain_ready_rescan,
+    install_indexed_listeners,
+    resolve_scheduler_strategy,
     wire_queued_plan,
 )
 from repro.engine.results import ResultCollector
@@ -57,6 +68,9 @@ class PlanRuntime:
     context: ExecutionContext
     collector: ResultCollector
     shard_id: int
+    #: The plan's ReadyInput templates, in registration order — the handle
+    #: ``ShardEngine.retire_plan`` uses to unwire queues and scheduler state.
+    templates: Tuple[ReadyInput, ...] = field(default=(), repr=False)
 
     @property
     def query_id(self) -> str:
@@ -85,6 +99,10 @@ class ShardEngine:
         :class:`~repro.engine.engine.ReadyStrategy` constant.
     keep_results:
         Whether hosted collectors retain result tuples.
+    scheduler_strategy:
+        :class:`~repro.scheduler.SchedulerStrategy` constant (or ``None``
+        for the natural pairing with ``ready_strategy``); every hosted
+        plan's queues feed the one shard scheduler through it.
     """
 
     def __init__(
@@ -94,6 +112,7 @@ class ShardEngine:
         clock: ShardClock,
         ready_strategy: str = ReadyStrategy.INCREMENTAL,
         keep_results: bool = True,
+        scheduler_strategy: Optional[str] = None,
     ) -> None:
         if ready_strategy not in ReadyStrategy.ALL:
             raise ValueError(
@@ -103,6 +122,9 @@ class ShardEngine:
         self.scheduler = scheduler
         self.clock = clock
         self.ready_strategy = ready_strategy
+        self.scheduler_strategy = resolve_scheduler_strategy(
+            scheduler_strategy, ready_strategy
+        )
         self.keep_results = keep_results
         self.cost = CostModel()
         self.memory = MemoryModel()
@@ -111,6 +133,10 @@ class ShardEngine:
         self._ready_meta: List[ReadyInput] = []
         self._ready_templates: Dict[int, ReadyInput] = {}
         self._ready: Dict[int, ReadyInput] = {}
+        #: Next registration order to hand out.  Monotone across the shard's
+        #: lifetime — retired plans' orders are never reused, so scheduler
+        #: histories keyed on order can never alias plans.
+        self._next_order = 0
         #: Source name -> input queues of every hosted plan consuming it.
         self._routes: Dict[str, List[InterOperatorQueue]] = {}
 
@@ -135,9 +161,12 @@ class ShardEngine:
             plan,
             context,
             self._on_queue_readiness,
-            order_start=len(self._ready_meta),
+            order_start=self._next_order,
             queue_prefix=f"{registered.query_id}:",
         )
+        if self.scheduler_strategy == SchedulerStrategy.INDEXED:
+            install_indexed_listeners(templates, self.scheduler)
+        self._next_order += len(templates)
         self._ready_meta.extend(templates)
         for template in templates:
             self._ready_templates[id(template.queue)] = template
@@ -152,8 +181,61 @@ class ShardEngine:
             context=context,
             collector=collector,
             shard_id=self.shard_id,
+            templates=tuple(templates),
         )
         self.runtimes.append(runtime)
+        return runtime
+
+    def retire_plan(self, query_id: str) -> PlanRuntime:
+        """Unhost one plan: unwire its queues, routes, and scheduler state.
+
+        The plan must be quiescent — between events its queues are always
+        empty (every drain runs to completion) — so retirement never drops
+        in-flight tuples.  The retired runtime (with its collector) is
+        returned so callers can migrate or archive it.  Registration orders
+        are not reused, and the scheduler's :meth:`~repro.scheduler.
+        OperatorScheduler.retire` drops every per-identity record, so
+        long-lived domains do not accumulate state across plan churn.
+
+        Like every other mutation of a shard, this must run on the thread
+        that drives the shard: in the thread-per-shard mode go through
+        :meth:`~repro.multi.sharded.ShardedEngine.retire_query`, which
+        parks the shard's worker at an idle barrier first.
+        """
+        runtime = next(
+            (r for r in self.runtimes if r.query_id == query_id), None
+        )
+        if runtime is None:
+            raise KeyError(
+                f"shard {self.shard_id} hosts no query {query_id!r}; "
+                f"hosted: {[r.query_id for r in self.runtimes]}"
+            )
+        pending = [t.queue.name for t in runtime.templates if len(t.queue)]
+        if pending:
+            raise RuntimeError(
+                f"cannot retire {query_id!r} with queued tuples in {pending}; "
+                "drain the shard first"
+            )
+        self.runtimes.remove(runtime)
+        retired_queues = {id(t.queue) for t in runtime.templates}
+        self._ready_meta = [
+            t for t in self._ready_meta if id(t.queue) not in retired_queues
+        ]
+        for template in runtime.templates:
+            template.queue.readiness_listener = None
+            self._ready_templates.pop(id(template.queue), None)
+            self._ready.pop(id(template.queue), None)
+        for source in list(self._routes):
+            kept = [q for q in self._routes[source] if id(q) not in retired_queues]
+            if kept:
+                self._routes[source] = kept
+            else:
+                del self._routes[source]
+        self.scheduler.retire(runtime.templates)
+        # The archived context must stop feeding this shard's scheduler:
+        # a replayed/migrated runtime would otherwise boost operators of a
+        # domain it no longer belongs to (id-reuse aliasing included).
+        runtime.context.remove_feedback_listener(self.scheduler.notify_feedback)
         return runtime
 
     @property
@@ -178,6 +260,9 @@ class ShardEngine:
     def _drain(self) -> None:
         if self.ready_strategy == ReadyStrategy.RESCAN:
             drain_ready_rescan(self._ready_meta, self.scheduler, self.cost)
+            return
+        if self.scheduler_strategy == SchedulerStrategy.INDEXED:
+            drain_ready_indexed(self.scheduler, self.cost)
             return
         drain_ready_incremental(self._ready, self.scheduler, self.cost)
 

@@ -207,6 +207,10 @@ class ShardedEngine:
         stateful instance).
     ready_strategy:
         Ready-set maintenance strategy for every shard.
+    scheduler_strategy:
+        :class:`~repro.scheduler.SchedulerStrategy` constant driving every
+        shard's scheduler (``None``: the natural pairing — indexed on the
+        incremental ready-set, select on the rescan baseline).
     keep_results:
         Whether per-query collectors retain result tuples.
     threaded:
@@ -222,6 +226,7 @@ class ShardedEngine:
         n_shards: int = 1,
         scheduler: Union[str, object] = "fifo",
         ready_strategy: str = ReadyStrategy.INCREMENTAL,
+        scheduler_strategy: Optional[str] = None,
         keep_results: bool = True,
         threaded: bool = False,
         partitioner=None,
@@ -241,6 +246,7 @@ class ShardedEngine:
                 scheduler=self._make_scheduler(scheduler),
                 clock=self.clock.view(f"shard-{index}"),
                 ready_strategy=ready_strategy,
+                scheduler_strategy=scheduler_strategy,
                 keep_results=keep_results,
             )
             for index in range(n_shards)
@@ -395,6 +401,28 @@ class ShardedEngine:
             self.submit_batch(list(group))
         self.flush()
         return self.report(wall_seconds=time.perf_counter() - start)
+
+    # -- lifecycle of hosted queries ------------------------------------------
+
+    def retire_query(self, query_id: str) -> PlanRuntime:
+        """Stop serving one registered query and return its archived runtime.
+
+        Buffered ingestion is flushed and — in the thread-per-shard mode —
+        the owning shard's worker is parked at its idle barrier before the
+        plan is unwired, so the retirement never races the drain loop
+        (shard state, including the scheduler, is only ever touched by one
+        thread at a time).  Later events for sources only this query
+        consumed are still routed to the shard and ignored there; the
+        query's results-so-far stay readable on the returned runtime.
+        """
+        self._check_open()
+        runtime = self.runtime_for(query_id)
+        self._flush_pending()
+        if self._workers:
+            self._workers[runtime.shard_id].wait_idle()
+        retired = self.shards[runtime.shard_id].retire_plan(query_id)
+        del self._runtimes[query_id]
+        return retired
 
     # -- results and reporting ------------------------------------------------
 

@@ -61,27 +61,37 @@ class InterOperatorQueue:
         self.max_length = 0
         #: Empty<->non-empty transition observer (set by the queued engine).
         self.readiness_listener: Optional[ReadinessListener] = None
+        # Queue push/pop is the hottest accounting site of the queued engine
+        # (twice per tuple per hop); bind the model methods once.  The
+        # context's models are reset in place, never replaced, so the bound
+        # methods stay valid for the queue's lifetime.
+        self._charge = context.cost.charge
+        self._allocate = context.memory.allocate
+        self._release = context.memory.release
 
     def push(self, tup: StreamTuple) -> None:
         """Append ``tup`` to the queue."""
-        if self.capacity is not None and len(self._items) >= self.capacity:
+        items = self._items
+        if self.capacity is not None and len(items) >= self.capacity:
             raise OverflowError(f"queue {self.name!r} exceeded capacity {self.capacity}")
-        self._items.append(tup)
+        items.append(tup)
         self.total_pushed += 1
-        self.max_length = max(self.max_length, len(self._items))
-        self.context.cost.charge(CostKind.QUEUE_OP)
-        self.context.memory.allocate(tup.size_bytes, "queue")
-        if len(self._items) == 1 and self.readiness_listener is not None:
+        if len(items) > self.max_length:
+            self.max_length = len(items)
+        self._charge(CostKind.QUEUE_OP)
+        self._allocate(tup.size_bytes, "queue")
+        if len(items) == 1 and self.readiness_listener is not None:
             self.readiness_listener(self, True)
 
     def pop(self) -> StreamTuple:
         """Remove and return the oldest queued tuple."""
-        if not self._items:
+        items = self._items
+        if not items:
             raise IndexError(f"queue {self.name!r} is empty")
-        tup = self._items.popleft()
-        self.context.cost.charge(CostKind.QUEUE_OP)
-        self.context.memory.release(tup.size_bytes, "queue")
-        if not self._items and self.readiness_listener is not None:
+        tup = items.popleft()
+        self._charge(CostKind.QUEUE_OP)
+        self._release(tup.size_bytes, "queue")
+        if not items and self.readiness_listener is not None:
             self.readiness_listener(self, False)
         return tup
 

@@ -8,10 +8,16 @@ priority than its consumer, and give an operator handling a suspension a
 higher priority than its upstream operators.
 
 :class:`~repro.scheduler.scheduler.OperatorScheduler` is the strategy
-interface; concrete policies live in :mod:`repro.scheduler.policies`.
+interface; concrete policies live in :mod:`repro.scheduler.policies`.  Every
+policy implements two equivalent drive modes
+(:class:`~repro.scheduler.scheduler.SchedulerStrategy`): the incremental
+*indexed* interface (the engine pushes ready-set deltas and asks
+``pop_next()``, O(log ready) per step) and the legacy ``select()`` baseline
+(a freshly sorted ready list per step), which is kept for equivalence tests
+and benchmark comparisons.
 """
 
-from repro.scheduler.scheduler import OperatorScheduler, ReadyInput
+from repro.scheduler.scheduler import OperatorScheduler, ReadyInput, SchedulerStrategy
 from repro.scheduler.policies import (
     FIFOScheduler,
     JITAwareScheduler,
@@ -23,6 +29,7 @@ from repro.scheduler.policies import (
 __all__ = [
     "OperatorScheduler",
     "ReadyInput",
+    "SchedulerStrategy",
     "FIFOScheduler",
     "RoundRobinScheduler",
     "PriorityScheduler",

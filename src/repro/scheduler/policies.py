@@ -1,24 +1,34 @@
 """Concrete operator-scheduling policies.
 
-Four policies are provided:
+Four policies are provided, each implementing *both* scheduler interfaces
+(the incremental indexed one and the legacy ``select()`` baseline — see
+:mod:`repro.scheduler.scheduler`) over the same policy state, with
+bit-identical decisions:
 
 * :class:`FIFOScheduler` — run the input whose head tuple is oldest, which
   preserves global temporal order of processing (the default, and the policy
-  whose results must match synchronous execution exactly).
-* :class:`RoundRobinScheduler` — cycle through ready inputs.
+  whose results must match synchronous execution exactly).  Indexed form: a
+  lazy-invalidation min-heap keyed on ``(head_ts, order)``.
+* :class:`RoundRobinScheduler` — serve the least-recently-served ready input
+  (a served-order rotation over stable identities).  Indexed form: a lazy
+  heap over ``(last_served_step, first_sight_rank)`` records.
 * :class:`PriorityScheduler` — prefer operators closer to (or farther from)
   the plan root, the classic "chain"-style static policy referenced by the
-  paper's related-work discussion of operator scheduling [9].
+  paper's related-work discussion of operator scheduling [9].  Indexed form:
+  depth-bucketed ``(head_ts, order)`` heaps under a lazy heap of depths.
 * :class:`JITAwareScheduler` — FIFO order plus the paper's Section III-B
-  rules: after a resumption feedback the producer is temporarily preferred
-  over its consumer; after a suspension the handling operator is preferred
-  over its upstream operators.
+  rules: after a resumption the producer is temporarily preferred over its
+  consumer; after a suspension the handling (receiving) operator is
+  preferred over its upstream operators.  Indexed form: FIFO heap plus a
+  boosted *priority band* heap that boosted ready inputs jump into.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from heapq import heappop, heappush
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.core.feedback import FeedbackKind
 from repro.operators.base import Operator
 from repro.scheduler.scheduler import OperatorScheduler, ReadyInput
 
@@ -31,10 +41,68 @@ __all__ = [
 ]
 
 
+class _LazyHeap:
+    """A min-heap over (key, order) pairs with lazy invalidation.
+
+    ``set`` registers or refreshes an entry for ``order``; superseded heap
+    records are left in place and skipped on pop because they no longer
+    match the currently registered key.  ``pop_min`` returns the order with
+    the smallest key and *consumes* its entry — per the indexed-scheduler
+    contract, the caller re-registers the order (``set``) if it stays ready
+    or drops it (``discard``) when its queue empties.
+    """
+
+    __slots__ = ("_heap", "_keys")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[tuple, int]] = []
+        self._keys: Dict[int, tuple] = {}
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, order: int) -> bool:
+        return order in self._keys
+
+    def set(self, order: int, key: tuple) -> None:
+        self._keys[order] = key
+        heappush(self._heap, (key, order))
+
+    def discard(self, order: int) -> None:
+        self._keys.pop(order, None)
+
+    def pop_min(self) -> int:
+        """Return and consume the order with the minimal current key."""
+        heap = self._heap
+        keys = self._keys
+        while True:
+            key, order = heappop(heap)
+            if keys.get(order) == key:
+                del keys[order]
+                return order
+
+
+def _fifo_key(item: ReadyInput) -> Tuple[float, int]:
+    """FIFO heap key: oldest head first, registration order as tie-break.
+
+    Reads the queue's deque directly rather than through the ``head_ts``
+    property chain — this runs once per queue transition and once per served
+    tuple, the hottest spots of the indexed path.
+    """
+    items = item.queue._items
+    return (items[0].ts if items else float("inf"), item.order)
+
+
 class FIFOScheduler(OperatorScheduler):
     """Run the ready input with the oldest head tuple (global FIFO)."""
 
     name = "fifo"
+
+    def __init__(self) -> None:
+        self._ready: Dict[int, ReadyInput] = {}
+        self._heap = _LazyHeap()
+
+    # -- legacy select ------------------------------------------------------------
 
     def select(self, ready: Sequence[ReadyInput]) -> int:
         best = 0
@@ -45,42 +113,120 @@ class FIFOScheduler(OperatorScheduler):
                 best, best_ts = index, ts
         return best
 
+    # -- indexed ------------------------------------------------------------------
+
+    def on_ready(self, item: ReadyInput) -> None:
+        self._ready[item.order] = item
+        self._heap.set(item.order, _fifo_key(item))
+
+    def on_unready(self, item: ReadyInput) -> None:
+        self._ready.pop(item.order, None)
+        self._heap.discard(item.order)
+
+    def on_head_change(self, item: ReadyInput) -> None:
+        self._heap.set(item.order, _fifo_key(item))
+
+    def pop_next(self) -> ReadyInput:
+        return self._ready[self._heap.pop_min()]
+
+    def ready_count(self) -> int:
+        return len(self._ready)
+
+    def retire(self, items: Iterable[ReadyInput]) -> None:
+        for item in items:
+            self.on_unready(item)
+
 
 class RoundRobinScheduler(OperatorScheduler):
     """Cycle through ready inputs in turn.
 
-    The rotation is over *stable* (operator, port) identities, not over
-    positions in the ready list: a raw cursor modulo a changing list length
-    can land on the same position every call (e.g. a two-element list
-    interleaved with a singleton always yields index 0 on both and starves
-    the second input).  Every call serves the least-recently-served ready
-    identity (never-served identities first, in first-sight order), which
-    guarantees each continuously ready input is served once per rotation no
-    matter how the ready list churns between calls.
+    The rotation is over *stable* identities — each input's registration
+    :attr:`~repro.scheduler.scheduler.ReadyInput.order` — not over positions
+    in a ready list: a raw cursor modulo a changing list length can land on
+    the same position every call and starve inputs, and keying on
+    ``id(operator)`` both grows without bound across plan churn and can
+    alias a new operator onto a stale serve record when CPython reuses the
+    id after garbage collection.  Every call serves the least-recently-served
+    ready identity (never-served identities first, in first-sight order),
+    which guarantees each continuously ready input is served once per
+    rotation no matter how the ready list churns between calls; ``retire``
+    evicts the records of retired plans.
     """
 
     name = "round_robin"
 
     def __init__(self) -> None:
-        #: (operator id, port) -> (step at which it was last served, first-sight rank).
-        self._history: Dict[Tuple[int, str], Tuple[int, int]] = {}
+        #: order -> (step at which it was last served, first-sight rank).
+        self._history: Dict[int, Tuple[int, int]] = {}
         self._step = 0
+        #: Monotone rank source (``len(self._history)`` would collide after
+        #: eviction).
+        self._next_rank = 0
+        self._ready: Dict[int, ReadyInput] = {}
+        self._heap = _LazyHeap()
+        #: Ready orders awaiting their first-sight rank.  Ranks are assigned
+        #: in ascending-order batches at the next scheduling step, exactly
+        #: where the select path first scans them in its order-sorted list.
+        self._unranked: Set[int] = set()
+
+    def _rank(self, order: int) -> Tuple[int, int]:
+        record = self._history.get(order)
+        if record is None:
+            record = self._history[order] = (-1, self._next_rank)
+            self._next_rank += 1
+        return record
+
+    # -- legacy select ------------------------------------------------------------
 
     def select(self, ready: Sequence[ReadyInput]) -> int:
         best_index = 0
         best_key: Optional[Tuple[int, int]] = None
         for index, item in enumerate(ready):
-            key = (id(item.operator), item.port)
-            record = self._history.get(key)
-            if record is None:
-                record = self._history[key] = (-1, len(self._history))
+            record = self._rank(item.order)
             if best_key is None or record < best_key:
                 best_index, best_key = index, record
-        self._step += 1
         chosen = ready[best_index]
-        chosen_key = (id(chosen.operator), chosen.port)
-        self._history[chosen_key] = (self._step, self._history[chosen_key][1])
+        self._serve(chosen.order)
         return best_index
+
+    def _serve(self, order: int) -> None:
+        self._step += 1
+        self._history[order] = (self._step, self._history[order][1])
+
+    # -- indexed ------------------------------------------------------------------
+
+    def on_ready(self, item: ReadyInput) -> None:
+        self._ready[item.order] = item
+        record = self._history.get(item.order)
+        if record is None:
+            self._unranked.add(item.order)
+        else:
+            self._heap.set(item.order, record)
+
+    def on_unready(self, item: ReadyInput) -> None:
+        self._ready.pop(item.order, None)
+        self._heap.discard(item.order)
+        self._unranked.discard(item.order)
+
+    def on_head_change(self, item: ReadyInput) -> None:
+        self._heap.set(item.order, self._history[item.order])
+
+    def pop_next(self) -> ReadyInput:
+        if self._unranked:
+            for order in sorted(self._unranked):
+                self._heap.set(order, self._rank(order))
+            self._unranked.clear()
+        order = self._heap.pop_min()
+        self._serve(order)
+        return self._ready[order]
+
+    def ready_count(self) -> int:
+        return len(self._ready)
+
+    def retire(self, items: Iterable[ReadyInput]) -> None:
+        for item in items:
+            self.on_unready(item)
+            self._history.pop(item.order, None)
 
 
 class PriorityScheduler(OperatorScheduler):
@@ -92,12 +238,26 @@ class PriorityScheduler(OperatorScheduler):
         When True (default) operators nearer the root run first, which drains
         intermediate results quickly and minimizes queue memory; when False
         upstream operators run first, which maximizes batching.
+
+    The indexed form buckets ready inputs by (signed) depth — one lazy
+    ``(head_ts, order)`` heap per depth — under a lazy min-heap of the
+    depths that currently have ready inputs, so a head change only reorders
+    within its bucket.
     """
 
     name = "priority"
 
     def __init__(self, prefer_downstream: bool = True) -> None:
         self.prefer_downstream = prefer_downstream
+        self._ready: Dict[int, ReadyInput] = {}
+        self._buckets: Dict[int, _LazyHeap] = {}
+        self._depth_heap: List[int] = []
+        self._depths_queued: Set[int] = set()
+
+    def _signed_depth(self, item: ReadyInput) -> int:
+        return item.depth if self.prefer_downstream else -item.depth
+
+    # -- legacy select ------------------------------------------------------------
 
     def select(self, ready: Sequence[ReadyInput]) -> int:
         keyed = [
@@ -107,15 +267,70 @@ class PriorityScheduler(OperatorScheduler):
         keyed.sort()
         return keyed[0][2]
 
+    # -- indexed ------------------------------------------------------------------
+
+    def on_ready(self, item: ReadyInput) -> None:
+        self._ready[item.order] = item
+        depth = self._signed_depth(item)
+        bucket = self._buckets.get(depth)
+        if bucket is None:
+            bucket = self._buckets[depth] = _LazyHeap()
+        bucket.set(item.order, _fifo_key(item))
+        if depth not in self._depths_queued:
+            self._depths_queued.add(depth)
+            heappush(self._depth_heap, depth)
+
+    def on_unready(self, item: ReadyInput) -> None:
+        self._ready.pop(item.order, None)
+        # retire() funnels through here for items whose depth never became
+        # ready (or that only ever ran through the select path), so the
+        # bucket may not exist.
+        bucket = self._buckets.get(self._signed_depth(item))
+        if bucket is not None:
+            bucket.discard(item.order)
+
+    def on_head_change(self, item: ReadyInput) -> None:
+        self._buckets[self._signed_depth(item)].set(item.order, _fifo_key(item))
+
+    def pop_next(self) -> ReadyInput:
+        while True:
+            depth = self._depth_heap[0]
+            bucket = self._buckets[depth]
+            if len(bucket):
+                return self._ready[bucket.pop_min()]
+            # Lazily drop depths whose buckets drained; they re-enqueue on
+            # the next on_ready at that depth.
+            heappop(self._depth_heap)
+            self._depths_queued.discard(depth)
+
+    def ready_count(self) -> int:
+        return len(self._ready)
+
+    def retire(self, items: Iterable[ReadyInput]) -> None:
+        for item in items:
+            self.on_unready(item)
+
 
 class JITAwareScheduler(OperatorScheduler):
     """FIFO plus the temporary priority boosts of Section III-B.
 
-    The engine calls :meth:`notify_feedback` whenever feedback flows; a
-    producer that just received a resumption is boosted for the next
-    ``boost_steps`` scheduling decisions so the consumer does not sit idle
-    waiting for the requested partial results, and an operator that received
-    a suspension is boosted over its upstream operators.
+    The engine calls :meth:`notify_feedback` whenever feedback flows.  A
+    *resumption* boosts the producer — the operator that received the
+    message and must regenerate the requested partial results — so the
+    consumer does not sit idle waiting for them.  A *suspension* boosts the
+    handling (receiving side's downstream) operator — the consumer that
+    detected the MNS and sent the message — over its upstream operators, so
+    it drains the arrivals that may complete the missing partners before
+    more upstream work piles in.
+
+    A boost entitles the operator to ``boost_steps`` *served* scheduling
+    decisions ahead of FIFO order.  It decays only when consumed — i.e. when
+    the boosted operator actually had a ready input and was served — never
+    while the operator has nothing to run, so a boost cannot expire before
+    the boosted operator runs once.  When several boosted operators are
+    ready at the same step, the one with the oldest head timestamp runs
+    first (registration order as tie-break), mirroring the FIFO rule inside
+    the boosted band.
     """
 
     name = "jit_aware"
@@ -124,29 +339,105 @@ class JITAwareScheduler(OperatorScheduler):
         if boost_steps <= 0:
             raise ValueError(f"boost_steps must be positive, got {boost_steps}")
         self.boost_steps = boost_steps
+        #: id(operator) -> remaining boosted servings.  Boosts are
+        #: short-lived by construction (consumed within ``boost_steps``
+        #: servings); ``retire`` drops any left by retired operators.
         self._boosts: Dict[int, int] = {}
         self._fifo = FIFOScheduler()
+        self._ready: Dict[int, ReadyInput] = {}
+        self._fifo_heap = _LazyHeap()
+        #: The boosted priority band: ready inputs of boosted operators.
+        self._boost_heap = _LazyHeap()
+        #: id(operator) -> ready orders, to move inputs in/out of the band.
+        self._by_op: Dict[int, Set[int]] = {}
 
     def notify_feedback(self, producer: Operator, consumer: Operator, kind: str) -> None:
-        self._boosts[id(producer)] = self.boost_steps
+        # Suspension-like feedback boosts the sending (downstream handling)
+        # operator; resumption-like feedback boosts the receiving producer.
+        if kind in (FeedbackKind.SUSPEND, FeedbackKind.MARK):
+            target = consumer
+        else:
+            target = producer
+        op = id(target)
+        self._boosts[op] = self.boost_steps
+        for order in self._by_op.get(op, ()):
+            item = self._ready[order]
+            self._boost_heap.set(order, _fifo_key(item))
+
+    def _consume_boost(self, operator: Operator) -> None:
+        """One boosted serving happened; expire the boost when used up."""
+        op = id(operator)
+        remaining = self._boosts.get(op, 0) - 1
+        if remaining > 0:
+            self._boosts[op] = remaining
+            return
+        self._boosts.pop(op, None)
+        for order in self._by_op.get(op, ()):
+            self._boost_heap.discard(order)
+
+    # -- legacy select ------------------------------------------------------------
 
     def select(self, ready: Sequence[ReadyInput]) -> int:
         boosted: Optional[int] = None
+        boosted_key: Optional[Tuple[float, int]] = None
         for index, item in enumerate(ready):
-            remaining = self._boosts.get(id(item.operator), 0)
-            if remaining > 0:
-                boosted = index
-                break
-        self._decay()
+            if self._boosts.get(id(item.operator), 0) > 0:
+                key = _fifo_key(item)
+                if boosted_key is None or key < boosted_key:
+                    boosted, boosted_key = index, key
         if boosted is not None:
+            self._consume_boost(ready[boosted].operator)
             return boosted
         return self._fifo.select(ready)
 
-    def _decay(self) -> None:
-        for key in list(self._boosts):
-            self._boosts[key] -= 1
-            if self._boosts[key] <= 0:
-                del self._boosts[key]
+    # -- indexed ------------------------------------------------------------------
+
+    def on_ready(self, item: ReadyInput) -> None:
+        self._ready[item.order] = item
+        key = _fifo_key(item)
+        self._fifo_heap.set(item.order, key)
+        op = id(item.operator)
+        self._by_op.setdefault(op, set()).add(item.order)
+        if self._boosts.get(op, 0) > 0:
+            self._boost_heap.set(item.order, key)
+
+    def on_unready(self, item: ReadyInput) -> None:
+        self._ready.pop(item.order, None)
+        self._fifo_heap.discard(item.order)
+        self._boost_heap.discard(item.order)
+        op = id(item.operator)
+        orders = self._by_op.get(op)
+        if orders is not None:
+            orders.discard(item.order)
+            if not orders:
+                del self._by_op[op]
+
+    def on_head_change(self, item: ReadyInput) -> None:
+        key = _fifo_key(item)
+        self._fifo_heap.set(item.order, key)
+        if self._boosts.get(id(item.operator), 0) > 0:
+            self._boost_heap.set(item.order, key)
+
+    def pop_next(self) -> ReadyInput:
+        if len(self._boost_heap):
+            order = self._boost_heap.pop_min()
+            item = self._ready[order]
+            # Consumed from the band; the FIFO entry is superseded too and
+            # re-registered by the follow-up on_head_change / on_unready.
+            self._fifo_heap.discard(order)
+            self._consume_boost(item.operator)
+            return item
+        return self._ready[self._fifo_heap.pop_min()]
+
+    def ready_count(self) -> int:
+        return len(self._ready)
+
+    def retire(self, items: Iterable[ReadyInput]) -> None:
+        for item in items:
+            self.on_unready(item)
+            op = id(item.operator)
+            if op not in self._by_op:
+                self._boosts.pop(op, None)
 
 
 _POLICIES = {

@@ -1,20 +1,52 @@
 """The operator-scheduler strategy interface.
 
-The queued execution engine repeatedly builds the list of *ready inputs* —
-every non-empty (operator, port, queue) triple — and asks the scheduler which
-one to run next.  A scheduler is a pure selection policy; it never mutates
-queues or operators.
+The queued execution engine repeatedly decides which *ready input* — a
+non-empty (operator, port, queue) triple — to run next.  Two scheduler
+interfaces coexist, selected by :class:`SchedulerStrategy`:
+
+* **Indexed** (default): the engine pushes *deltas* into the scheduler —
+  :meth:`OperatorScheduler.on_ready` when a queue becomes non-empty,
+  :meth:`~OperatorScheduler.on_unready` when it empties, and
+  :meth:`~OperatorScheduler.on_head_change` after each pop that leaves the
+  queue non-empty — and asks :meth:`~OperatorScheduler.pop_next` for the
+  next input to serve.  Policies maintain indexed structures (lazy heaps,
+  served-order rotations) under those deltas, so one scheduling step costs
+  O(log ready) instead of the O(ready log ready) sort-per-step of the
+  legacy path.
+* **Select** (legacy baseline): the engine hands :meth:`~OperatorScheduler.
+  select` a freshly sorted list of every ready input and receives an index
+  back.  Kept alive so equivalence tests and ``benchmarks/
+  bench_throughput.py --suite sched`` can verify and quantify the indexed
+  path against it; both must produce identical schedules.
+
+A scheduler never mutates queues or operators.  Scheduler instances are
+stateful (rotations, boosts, heaps) and belong to exactly one scheduler
+domain — one queued engine or one shard; in the thread-per-shard mode every
+delta and every ``pop_next`` of a domain is issued by that shard's worker
+thread only, so no locking is needed inside the policies.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Iterable, Sequence
 
 from repro.operators.base import Operator
 from repro.operators.queues import InterOperatorQueue
 
-__all__ = ["ReadyInput", "OperatorScheduler"]
+__all__ = ["ReadyInput", "OperatorScheduler", "SchedulerStrategy"]
+
+
+class SchedulerStrategy:
+    """How the engine drives its scheduler (see module docstring)."""
+
+    #: Push deltas, ask ``pop_next()``: O(log ready) per step (default).
+    INDEXED = "indexed"
+    #: Rebuild + sort the ready list and call ``select()`` every step.  Kept
+    #: as the equivalence/benchmark baseline.
+    SELECT = "select"
+
+    ALL = (INDEXED, SELECT)
 
 
 @dataclass(frozen=True)
@@ -28,9 +60,13 @@ class ReadyInput:
     #: use it to prefer upstream or downstream work.
     depth: int = 0
     #: Stable registration index of the (operator, port) pair within the
-    #: engine.  The engine presents ready inputs sorted by this index, so
-    #: scheduling decisions (and FIFO tie-breaks) are independent of the
-    #: order in which queues happened to become non-empty.
+    #: scheduler domain.  The engine presents ready inputs sorted by this
+    #: index (and indexed policies tie-break on it), so scheduling decisions
+    #: are independent of the order in which queues happened to become
+    #: non-empty.  Orders are unique within a domain and never reused, which
+    #: also makes them the stable identity for scheduler bookkeeping
+    #: (rotation histories etc.) — unlike ``id(operator)``, which CPython can
+    #: reuse after garbage collection.
     order: int = 0
 
     @property
@@ -41,22 +77,78 @@ class ReadyInput:
 
 
 class OperatorScheduler:
-    """Base class for operator scheduling policies."""
+    """Base class for operator scheduling policies.
+
+    Concrete policies implement both interfaces over shared policy state, so
+    one instance can serve either strategy — but a given engine drives it
+    through exactly one of them.
+
+    The indexed contract: the engine calls :meth:`on_ready` /
+    :meth:`on_unready` on every empty<->non-empty queue transition,
+    :meth:`pop_next` to obtain the input to serve, then pops exactly one
+    tuple from its queue and — when the queue stays non-empty —
+    :meth:`on_head_change` before running the operator.  ``pop_next``
+    *consumes* the scheduler's entry for that input; the follow-up
+    ``on_head_change`` / ``on_unready`` re-registers or drops it.  A queue's
+    head tuple only changes when the scheduler itself pops it, so keys
+    computed at registration time stay valid until then.
+    """
 
     name = "base"
+
+    # -- legacy select interface (SchedulerStrategy.SELECT) -----------------------
 
     def select(self, ready: Sequence[ReadyInput]) -> int:
         """Return the index (into ``ready``) of the input to run next.
 
-        ``ready`` is never empty when this is called.
+        ``ready`` is never empty when this is called, and the engine always
+        presents it sorted by :attr:`ReadyInput.order`.
         """
         raise NotImplementedError
+
+    # -- incremental indexed interface (SchedulerStrategy.INDEXED) ----------------
+
+    def on_ready(self, item: ReadyInput) -> None:
+        """``item``'s queue just became non-empty."""
+        raise NotImplementedError
+
+    def on_unready(self, item: ReadyInput) -> None:
+        """``item``'s queue just became empty."""
+        raise NotImplementedError
+
+    def on_head_change(self, item: ReadyInput) -> None:
+        """``item`` was served, its queue popped, and a new head is exposed."""
+        raise NotImplementedError
+
+    def pop_next(self) -> ReadyInput:
+        """Return (and consume the entry of) the ready input to run next.
+
+        Only called while :meth:`ready_count` is positive.
+        """
+        raise NotImplementedError
+
+    def ready_count(self) -> int:
+        """Number of currently ready inputs known to the indexed interface."""
+        raise NotImplementedError
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def retire(self, items: Iterable[ReadyInput]) -> None:
+        """Forget every trace of ``items`` (a retired plan's templates).
+
+        Long-lived multi-plan domains retire plans (live migration,
+        deregistration); schedulers must drop ready entries *and* any
+        per-identity history so domain state cannot grow without bound.
+        The default is a no-op for stateless policies.
+        """
 
     def notify_feedback(self, producer: Operator, consumer: Operator, kind: str) -> None:
         """Hook invoked by the engine when feedback flows between operators.
 
-        Policies that implement the paper's Section III-B priority rules use
-        this to temporarily boost the producer; the default ignores it.
+        ``producer`` is the operator that *received* the message (the
+        paper's producer side), ``consumer`` the downstream operator that
+        sent it.  Policies that implement the paper's Section III-B priority
+        rules use this to apply temporary boosts; the default ignores it.
         """
 
     def __repr__(self) -> str:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.engine import ExecutionMode, ReadyStrategy, run_workload
+from repro.engine import ExecutionMode, ReadyStrategy, SchedulerStrategy, run_workload
 from repro.multi import (
     MultiQueryWorkload,
     QueryRegistry,
@@ -375,6 +375,12 @@ class TestRunWorkloadReuse:
             with pytest.raises(ValueError, match="not both"):
                 run_workload(
                     events=shared_events, engine=engine, mode=ExecutionMode.QUEUED
+                )
+            with pytest.raises(ValueError, match="not both"):
+                run_workload(
+                    events=shared_events,
+                    engine=engine,
+                    scheduler_strategy=SchedulerStrategy.SELECT,
                 )
         with pytest.raises(ValueError, match="needs either"):
             run_workload(events=shared_events)

@@ -213,8 +213,8 @@ class TestSchedulers:
         q1.push(make_tuple("A", 5.0, x=1))
         q2.push(make_tuple("C", 1.0, x=1))
         return [
-            ReadyInput(op_a, PORT_LEFT, q1, depth=0),
-            ReadyInput(op_b, PORT_LEFT, q2, depth=2),
+            ReadyInput(op_a, PORT_LEFT, q1, depth=0, order=0),
+            ReadyInput(op_b, PORT_LEFT, q2, depth=2, order=1),
         ]
 
     def test_fifo_picks_oldest(self, context):

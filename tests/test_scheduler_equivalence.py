@@ -1,0 +1,494 @@
+"""Indexed-vs-select scheduler equivalence, and the scheduler bugfix suite.
+
+The indexed scheduler interface (deltas + ``pop_next``) must reproduce the
+legacy sorted-``select`` path *bit-identically* — same result sequences,
+same modelled costs — under every policy, on single-plan queued engines and
+on (threaded) sharded multi-plan domains.  The deterministic matrix here is
+the tier-1 smoke for that property; the hypothesis sweep (``slow``) explores
+random plan shapes nightly.
+
+Also covered: the three scheduler bugfixes of ISSUE 4 —
+
+* a *suspension* boosts the handling (receiving side's downstream) operator,
+  not the producer;
+* a boost only decays when the boosted operator is actually served, so it
+  cannot expire before the operator runs once, and among several boosted
+  ready inputs the oldest head timestamp wins;
+* the round-robin rotation keys on the stable registration ``order`` (not
+  ``id(operator)``) and ``retire`` evicts records of retired plans.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ExecutionMode, ReadyStrategy, SchedulerStrategy, run_workload
+from repro.engine.engine import resolve_scheduler_strategy
+from repro.multi import QueryRegistry, ShardedEngine, generate_multi_query_workload
+from repro.operators.queues import InterOperatorQueue
+from repro.plans.builder import (
+    PLAN_LEFT_DEEP,
+    STRATEGY_JIT,
+    STRATEGY_REF,
+    build_xjoin_plan,
+)
+from repro.plans.query import ContinuousQuery
+from repro.scheduler import (
+    JITAwareScheduler,
+    ReadyInput,
+    RoundRobinScheduler,
+    build_scheduler,
+)
+from repro.streams.generators import generate_clique_workload
+from repro.streams.tuples import AtomicTuple
+
+ALL_POLICIES = ("fifo", "round_robin", "priority", "jit_aware")
+
+
+# ------------------------------------------------------------------ helpers
+
+
+class _Op:
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"_Op({self.name})"
+
+
+def _wire(scheduler, *inputs):
+    """Install engine-style readiness listeners feeding ``scheduler``."""
+    for item in inputs:
+        def listener(queue, nonempty, item=item):
+            if nonempty:
+                scheduler.on_ready(item)
+            else:
+                scheduler.on_unready(item)
+        item.queue.readiness_listener = listener
+
+
+def _serve(scheduler):
+    """One engine scheduling step against the indexed interface."""
+    item = scheduler.pop_next()
+    tup = item.queue.pop()
+    if item.queue:
+        scheduler.on_head_change(item)
+    return item, tup
+
+
+def _ready_input(context, name, ts, order, depth=0, operator=None):
+    queue = InterOperatorQueue(f"q{order}", context)
+    item = ReadyInput(
+        operator=operator if operator is not None else _Op(name),
+        port="left",
+        queue=queue,
+        depth=depth,
+        order=order,
+    )
+    queue.push(AtomicTuple(name, ts, {"x": 1}))
+    return item
+
+
+def _queued_run(query, events, window_length, policy, scheduler_strategy):
+    report = run_workload(
+        build_xjoin_plan(query, shape=PLAN_LEFT_DEEP, strategy=STRATEGY_JIT),
+        events,
+        window_length,
+        mode=ExecutionMode.QUEUED,
+        scheduler=build_scheduler(policy),
+        scheduler_strategy=scheduler_strategy,
+    )
+    return list(report.results.results), report.metrics.cpu_units
+
+
+# ------------------------------------------------------------------ equivalence matrix
+
+
+class TestIndexedSelectEquivalence:
+    """The tier-1 smoke matrix: indexed == select, policy by policy."""
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_single_plan_identical_schedule(self, policy):
+        workload = generate_clique_workload(
+            n_sources=4, rate=0.5, window_seconds=20, dmax=2, duration=60, seed=0
+        )
+        query = ContinuousQuery.from_workload(workload)
+        events = workload.events()
+        runs = {
+            strategy: _queued_run(
+                query, events, workload.window.length, policy, strategy
+            )
+            for strategy in SchedulerStrategy.ALL
+        }
+        indexed_results, indexed_cpu = runs[SchedulerStrategy.INDEXED]
+        select_results, select_cpu = runs[SchedulerStrategy.SELECT]
+        assert indexed_results, f"{policy}: workload produced no results"
+        # Identical result *sequences* and identical modelled costs — i.e.
+        # the two drive modes made the same decision at every step.
+        assert indexed_results == select_results
+        assert indexed_cpu == select_cpu
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    @pytest.mark.parametrize("n_shards,threaded", ((1, False), (2, False), (2, True)))
+    def test_sharded_identical_sequences(self, policy, n_shards, threaded):
+        workload = generate_multi_query_workload(
+            n_queries=6, n_sources=4, rate=0.8, window_seconds=20, dmax=4,
+            duration=80, seed=3,
+        )
+        events = workload.events()
+        sequences = {}
+        for strategy in SchedulerStrategy.ALL:
+            registry = QueryRegistry()
+            for index, query in enumerate(workload.queries()):
+                registry.register(
+                    query, strategy=STRATEGY_JIT if index % 2 else STRATEGY_REF
+                )
+            with ShardedEngine(
+                registry,
+                n_shards=n_shards,
+                scheduler=policy,
+                scheduler_strategy=strategy,
+                threaded=threaded,
+            ) as engine:
+                engine.run(events)
+                sequences[strategy] = {
+                    query_id: list(engine.results_for(query_id).results)
+                    for query_id in registry.ids
+                }
+        assert sum(len(s) for s in sequences[SchedulerStrategy.INDEXED].values()) > 0
+        assert sequences[SchedulerStrategy.INDEXED] == sequences[SchedulerStrategy.SELECT]
+
+    def test_indexed_requires_incremental_ready_set(self):
+        with pytest.raises(ValueError, match="rescan"):
+            resolve_scheduler_strategy(
+                SchedulerStrategy.INDEXED, ReadyStrategy.RESCAN
+            )
+        with pytest.raises(ValueError, match="unknown scheduler strategy"):
+            resolve_scheduler_strategy("quantum", ReadyStrategy.INCREMENTAL)
+        assert (
+            resolve_scheduler_strategy(None, ReadyStrategy.INCREMENTAL)
+            == SchedulerStrategy.INDEXED
+        )
+        assert (
+            resolve_scheduler_strategy(None, ReadyStrategy.RESCAN)
+            == SchedulerStrategy.SELECT
+        )
+
+
+@pytest.mark.slow
+class TestEquivalenceSweep:
+    """Randomized plan shapes: indexed must track select exactly."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_sources=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+        rate=st.sampled_from((0.5, 1.0, 2.0)),
+        dmax=st.integers(min_value=2, max_value=8),
+        policy=st.sampled_from(ALL_POLICIES),
+    )
+    def test_random_workloads(self, n_sources, seed, rate, dmax, policy):
+        workload = generate_clique_workload(
+            n_sources=n_sources,
+            rate=rate,
+            window_seconds=25,
+            dmax=dmax,
+            duration=50,
+            seed=seed,
+        )
+        query = ContinuousQuery.from_workload(workload)
+        events = workload.events()
+        indexed = _queued_run(
+            query, events, workload.window.length, policy, SchedulerStrategy.INDEXED
+        )
+        select = _queued_run(
+            query, events, workload.window.length, policy, SchedulerStrategy.SELECT
+        )
+        assert indexed == select
+
+
+# ------------------------------------------------------------------ bugfix: boost direction
+
+
+class TestSuspensionBoostDirection:
+    """§III-B: a suspension boosts the handling operator, not the producer."""
+
+    def _producer_consumer(self, context):
+        # The producer's head is older, so plain FIFO (and the old
+        # boost-the-producer bug) would pick the producer either way.
+        producer_item = _ready_input(context, "P", ts=1.0, order=0)
+        consumer_item = _ready_input(context, "C", ts=2.0, order=1)
+        return producer_item, consumer_item
+
+    def test_select_path_boosts_consumer_on_suspend(self, context):
+        producer_item, consumer_item = self._producer_consumer(context)
+        ready = (producer_item, consumer_item)
+        scheduler = JITAwareScheduler(boost_steps=2)
+        assert scheduler.select(ready) == 0  # FIFO: producer's head is older
+        scheduler.notify_feedback(
+            producer_item.operator, consumer_item.operator, "suspend"
+        )
+        assert scheduler.select(ready) == 1  # the handling consumer jumps ahead
+
+    def test_select_path_boosts_producer_on_resume(self, context):
+        producer_item, consumer_item = self._producer_consumer(context)
+        # Flip the ages so FIFO would pick the consumer.
+        ready = (
+            _ready_input(context, "P", ts=5.0, order=0, operator=producer_item.operator),
+            _ready_input(context, "C", ts=2.0, order=1, operator=consumer_item.operator),
+        )
+        scheduler = JITAwareScheduler(boost_steps=2)
+        assert scheduler.select(ready) == 1
+        scheduler.notify_feedback(ready[0].operator, ready[1].operator, "resume")
+        assert scheduler.select(ready) == 0
+
+    def test_indexed_path_boosts_consumer_on_suspend(self, context):
+        scheduler = JITAwareScheduler(boost_steps=1)
+        producer_item = _ready_input(context, "P", ts=1.0, order=0)
+        consumer_item = _ready_input(context, "C", ts=2.0, order=1)
+        _wire(scheduler, producer_item, consumer_item)
+        scheduler.on_ready(producer_item)
+        scheduler.on_ready(consumer_item)
+        scheduler.notify_feedback(
+            producer_item.operator, consumer_item.operator, "suspend"
+        )
+        chosen, _tup = _serve(scheduler)
+        assert chosen is consumer_item
+
+
+class TestBoostDecay:
+    """A boost must survive until the boosted operator is actually served."""
+
+    def test_boost_survives_while_not_servable(self, context):
+        scheduler = JITAwareScheduler(boost_steps=2)
+        producer, consumer = _Op("P"), _Op("C")
+        other_a = _ready_input(context, "A", ts=1.0, order=1)
+        other_b = _ready_input(context, "B", ts=2.0, order=2)
+        ready_without_producer = (other_a, other_b)
+        scheduler.notify_feedback(producer, consumer, "resume")
+        # Far more scheduling decisions than boost_steps pass without the
+        # producer having any ready input; the old per-select decay would
+        # have expired the boost before the producer ever ran.
+        for _ in range(10):
+            assert scheduler.select(ready_without_producer) == 0
+        producer_item = _ready_input(context, "P", ts=9.0, order=0, operator=producer)
+        ready = (producer_item,) + ready_without_producer
+        assert scheduler.select(ready) == 0  # still boosted: producer wins
+        assert scheduler.select(ready) == 0  # second (and last) boosted serving
+        assert scheduler.select(ready) == 1  # consumed: FIFO again
+
+    def test_oldest_boosted_head_wins(self, context):
+        # Two boosted operators ready at once: the oldest head runs first,
+        # not the lowest ready-list index (the old behaviour).
+        scheduler = JITAwareScheduler(boost_steps=4)
+        op_young, op_old = _Op("young"), _Op("old")
+        young = _ready_input(context, "Y", ts=3.0, order=0, operator=op_young)
+        old = _ready_input(context, "O", ts=1.5, order=1, operator=op_old)
+        scheduler.notify_feedback(op_young, _Op("x"), "resume")
+        scheduler.notify_feedback(op_old, _Op("x"), "resume")
+        assert scheduler.select((young, old)) == 1
+
+    def test_indexed_boost_survives_until_servable(self, context):
+        scheduler = JITAwareScheduler(boost_steps=1)
+        producer = _Op("P")
+        other = _ready_input(context, "A", ts=1.0, order=1)
+        _wire(scheduler, other)
+        scheduler.on_ready(other)
+        scheduler.notify_feedback(producer, _Op("C"), "resume")
+        for ts in (2.0, 3.0, 4.0):
+            chosen, _tup = _serve(scheduler)
+            assert chosen is other
+            other.queue.push(AtomicTuple("A", ts, {"x": 1}))
+        producer_item = _ready_input(context, "P", ts=9.0, order=0, operator=producer)
+        _wire(scheduler, producer_item)
+        scheduler.on_ready(producer_item)
+        chosen, _tup = _serve(scheduler)
+        assert chosen is producer_item  # boost outlived the idle stretch
+
+
+# ------------------------------------------------------------------ bugfix: round robin
+
+
+class TestRoundRobinIdentity:
+    """The rotation keys on the stable order, and retire evicts records."""
+
+    def test_same_operator_two_ports_rotate_independently(self, context):
+        operator = _Op("shared")
+        left = _ready_input(context, "L", ts=1.0, order=0, operator=operator)
+        right = _ready_input(context, "R", ts=2.0, order=1, operator=operator)
+        scheduler = RoundRobinScheduler()
+        picks = [scheduler.select((left, right)) for _ in range(4)]
+        assert picks == [0, 1, 0, 1]
+
+    def test_retire_evicts_history(self, context):
+        scheduler = RoundRobinScheduler()
+        a = _ready_input(context, "A", ts=1.0, order=0)
+        b = _ready_input(context, "B", ts=2.0, order=1)
+        for _ in range(3):
+            scheduler.select((a, b))
+        assert set(scheduler._history) == {0, 1}
+        scheduler.retire((b,))
+        assert set(scheduler._history) == {0}
+        # A later plan's input reuses nothing: fresh order, fresh record,
+        # and the rotation stays fair across the churn.
+        c = _ready_input(context, "C", ts=3.0, order=2)
+        served = [((a, c)[scheduler.select((a, c))]).operator.name for _ in range(4)]
+        assert served.count("A") == served.count("C") == 2
+        assert set(scheduler._history) == {0, 2}
+
+    def test_indexed_rotation_matches_select(self, context):
+        # Drive two fresh schedulers over the same arrival script through
+        # both interfaces; the serve orders must coincide.
+        def build(order_count):
+            items = [
+                _ready_input(context, f"S{i}", ts=float(i), order=i)
+                for i in range(order_count)
+            ]
+            return items
+
+        select_sched, indexed_sched = RoundRobinScheduler(), RoundRobinScheduler()
+        select_items = build(3)
+        indexed_items = build(3)
+        _wire(indexed_sched, *indexed_items)
+        for item in indexed_items:
+            indexed_sched.on_ready(item)
+        select_order, indexed_order = [], []
+        for step in range(9):
+            # Legacy path: every input stays continuously ready.
+            chosen = select_items[select_sched.select(tuple(select_items))]
+            select_order.append(chosen.order)
+            chosen.queue.pop()
+            chosen.queue.push(AtomicTuple("S", 10.0 + step, {"x": 1}))
+
+            # Indexed path: the pop empties the queue (on_unready) and the
+            # refill re-registers it (on_ready) — rotation state must survive.
+            chosen, _tup = _serve(indexed_sched)
+            indexed_order.append(chosen.order)
+            chosen.queue.push(AtomicTuple("S", 10.0 + step, {"x": 1}))
+        assert indexed_order == select_order
+
+
+# ------------------------------------------------------------------ shard retirement
+
+
+class TestShardPlanRetirement:
+    def _workload(self):
+        return generate_multi_query_workload(
+            n_queries=2, n_sources=3, rate=0.8, window_seconds=20, dmax=4,
+            duration=80, seed=7,
+        )
+
+    def test_retire_mid_run_preserves_survivor(self):
+        workload = self._workload()
+        events = workload.events()
+        half = len(events) // 2
+
+        registry = QueryRegistry()
+        for query in workload.queries():
+            registry.register(query)
+        with ShardedEngine(registry, n_shards=1, scheduler="round_robin") as engine:
+            shard = engine.shards[0]
+            for event in events[:half]:
+                engine.submit(event)
+            retired = shard.retire_plan("q1")
+            assert retired.query_id == "q1"
+            partial_count = retired.collector.count
+            for event in events[half:]:
+                engine.submit(event)
+            survivor = engine.results_for("q0").multiset()
+            # The retired plan processed nothing after retirement.
+            assert retired.collector.count == partial_count
+            assert len(shard.runtimes) == 1
+            # Scheduler history holds no retired identities (round robin
+            # keys on orders; q1's orders are gone).
+            live_orders = {t.order for t in shard.runtimes[0].templates}
+            assert set(shard.scheduler._history) <= live_orders
+            # The archived context no longer feeds the shard's scheduler.
+            assert (
+                shard.scheduler.notify_feedback
+                not in retired.context.feedback_listeners
+            )
+
+        # The survivor matches a standalone run exactly.
+        standalone_registry = QueryRegistry()
+        q0 = standalone_registry.register(workload.query(0), query_id="q0")
+        subscribed = [e for e in events if e.source in q0.sources]
+        report = run_workload(q0.build_plan(), subscribed, q0.query.window.length)
+        assert survivor == report.results.multiset()
+        assert sum(survivor.values()) > 0
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    @pytest.mark.parametrize("strategy", (None,) + SchedulerStrategy.ALL)
+    def test_retire_under_every_policy_and_strategy(self, policy, strategy):
+        """retire works for every policy whatever drive mode ran before it."""
+        workload = self._workload()
+        events = workload.events()
+        registry = QueryRegistry()
+        for query in workload.queries():
+            registry.register(query)
+        with ShardedEngine(
+            registry, n_shards=1, scheduler=policy, scheduler_strategy=strategy
+        ) as engine:
+            for event in events[:10]:
+                engine.submit(event)
+            retired = engine.retire_query("q0")
+            for event in events[10:30]:
+                engine.submit(event)
+            assert set(engine.report().queries) == {"q1"}
+            assert retired.query_id == "q0"
+        # Retiring before any event was processed must work too.
+        registry2 = QueryRegistry()
+        for query in workload.queries():
+            registry2.register(query)
+        with ShardedEngine(
+            registry2, n_shards=1, scheduler=policy, scheduler_strategy=strategy
+        ) as engine:
+            engine.retire_query("q1")
+            for event in events[:10]:
+                engine.submit(event)
+
+    @pytest.mark.parametrize("threaded", (False, True))
+    def test_retire_query_through_engine(self, threaded):
+        """ShardedEngine.retire_query parks the worker before unwiring."""
+        workload = self._workload()
+        events = workload.events()
+        half = len(events) // 2
+        registry = QueryRegistry()
+        for query in workload.queries():
+            registry.register(query)
+        with ShardedEngine(registry, n_shards=1, threaded=threaded) as engine:
+            for event in events[:half]:
+                engine.submit(event)
+            retired = engine.retire_query("q1")
+            frozen_count = retired.collector.count
+            for event in events[half:]:
+                engine.submit(event)
+            engine.flush()
+            report = engine.report()
+            assert retired.collector.count == frozen_count
+            assert set(report.queries) == {"q0"}
+            survivor = engine.results_for("q0").multiset()
+        standalone_registry = QueryRegistry()
+        q0 = standalone_registry.register(workload.query(0), query_id="q0")
+        subscribed = [e for e in events if e.source in q0.sources]
+        expected = run_workload(
+            q0.build_plan(), subscribed, q0.query.window.length
+        ).results.multiset()
+        assert survivor == expected
+
+    def test_retire_unknown_or_pending_rejected(self, tuple_factory):
+        workload = self._workload()
+        registry = QueryRegistry()
+        for query in workload.queries():
+            registry.register(query)
+        with ShardedEngine(registry, n_shards=1) as engine:
+            shard = engine.shards[0]
+            with pytest.raises(KeyError, match="hosts no query"):
+                shard.retire_plan("nope")
+            queue = shard.runtimes[0].templates[0].queue
+            queue.push(tuple_factory("A", 1.0, x=1))
+            with pytest.raises(RuntimeError, match="queued tuples"):
+                shard.retire_plan(shard.runtimes[0].query_id)
+            queue.pop()  # restore quiescence so close() is clean

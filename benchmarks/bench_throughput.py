@@ -22,6 +22,14 @@ hot path along the two axes optimized by the high-throughput execution core:
   scaling is visible: the select path's microseconds-per-step grow with the
   domain, the indexed path's must stay flat.  ``--suite sched`` writes its
   numbers to ``BENCH_sched.json``.
+* **Serving layer** — the :class:`~repro.serve.StreamServer` front-end:
+  instrumentation + bounded-buffer overhead of the ``block`` policy vs. the
+  raw engine (must stay result-bit-identical), shedding throughput and exact
+  loss accounting of ``drop_oldest`` / ``fair_shed`` under a deliberately
+  undersized buffer, and a ``--boost-steps`` sweep of the jit_aware
+  scheduler's boost duration (§III-B) measured *through* the serving layer
+  with its boost counters surfaced from telemetry.  ``--suite serve`` writes
+  its numbers to ``BENCH_serve.json``.
 
 Every comparison asserts that all variants produce the identical result
 multiset (or identical per-query counts), so a reported speedup is never the
@@ -85,6 +93,20 @@ DEFAULT_SCHED_EVENTS = 3_000
 
 #: Where ``--suite sched`` records its results.
 DEFAULT_SCHED_JSON = Path(__file__).resolve().parent / "BENCH_sched.json"
+
+#: Standing-query population of the serving suite (smaller than the multi
+#: suite: the quantity under test is the serving front-end, not sharding).
+DEFAULT_SERVE_QUERIES = 32
+
+#: Arrivals driven through each serving-suite variant.
+DEFAULT_SERVE_EVENTS = 4_000
+
+#: jit_aware boost durations swept by ``--boost-steps`` (must be positive;
+#: the sweep always adds a plain-FIFO baseline row for the no-boost anchor).
+DEFAULT_BOOST_STEPS = (1, 2, 4, 8, 16)
+
+#: Where ``--suite serve`` records its results.
+DEFAULT_SERVE_JSON = Path(__file__).resolve().parent / "BENCH_serve.json"
 
 
 def _equi_workload(n_events: int, n_sources: int = 2, seed: int = 7):
@@ -416,6 +438,190 @@ def bench_sched(
     }
 
 
+def bench_serve(
+    n_queries: int = DEFAULT_SERVE_QUERIES,
+    n_events: int = DEFAULT_SERVE_EVENTS,
+    boost_steps: Tuple[int, ...] = DEFAULT_BOOST_STEPS,
+    capacity: int = 256,
+    n_shards: int = 2,
+    repeats: int = 2,
+) -> Dict[str, object]:
+    """The serving-layer benchmark: policy overhead, shedding, boost sweep.
+
+    Part one measures the :class:`~repro.serve.StreamServer` front-end
+    against the raw engine on the same workload: the ``block`` policy with
+    full telemetry must reproduce the raw per-query result counts exactly
+    (its cost is the serving overhead), while ``drop_oldest`` and
+    ``fair_shed`` run with a deliberately undersized buffer (capacity//8,
+    no interleaved draining) and must account every shed event.
+
+    Part two sweeps the jit_aware scheduler's ``boost_steps`` (§III-B boost
+    duration) through a block-policy server — plus a plain-FIFO baseline —
+    reporting throughput and the scheduler's boost counters
+    (``boosts_granted`` / ``boosted_servings``) surfaced via the serving
+    telemetry.  Scheduling order must never change results, so every sweep
+    point must reproduce the baseline per-query counts.
+    """
+    from repro.serve import OverloadPolicy, StreamServer, get_metric_value
+
+    n_sources = 4
+    workload = generate_multi_query_workload(
+        n_queries=n_queries,
+        n_sources=n_sources,
+        rate=1.0,
+        window_seconds=25.0,
+        dmax=200,
+        duration=max(1.0, n_events / n_sources),
+        seed=17,
+    )
+    events = workload.events()
+    registry = _multi_registry(workload, STRATEGY_JIT)
+
+    def timed_raw() -> Tuple[float, Dict[str, int]]:
+        with ShardedEngine(registry, n_shards=n_shards, keep_results=False) as engine:
+            start = time.perf_counter()
+            report = engine.run(events)
+            return time.perf_counter() - start, report.result_counts()
+
+    def timed_served(policy: str, cap: int, scheduler="fifo"):
+        engine = ShardedEngine(
+            registry, n_shards=n_shards, scheduler=scheduler, keep_results=False
+        )
+        server = StreamServer(engine, capacity=cap, policy=policy)
+        start = time.perf_counter()
+        for event in events:
+            server.submit(event)
+        server.flush()
+        elapsed = time.perf_counter() - start
+        counts = {
+            entry.query_id: server.results_for(entry.query_id).count
+            for entry in registry
+        }
+        return elapsed, counts, server
+
+    baseline_counts: Optional[Dict[str, int]] = None
+    raw_best = float("inf")
+    for _ in range(max(1, repeats)):
+        elapsed, counts = timed_raw()
+        if baseline_counts is None:
+            baseline_counts = counts
+        assert counts == baseline_counts
+        raw_best = min(raw_best, elapsed)
+
+    policies: Dict[str, Dict[str, object]] = {}
+    for policy in OverloadPolicy.ALL:
+        cap = capacity if policy == OverloadPolicy.BLOCK else max(8, capacity // 8)
+        best = float("inf")
+        last_server = None
+        for _ in range(max(1, repeats)):
+            elapsed, counts, server = timed_served(policy, cap)
+            if policy == OverloadPolicy.BLOCK:
+                assert counts == baseline_counts, (
+                    f"served/{policy} changed the per-query results"
+                )
+            report = server.report()
+            assert report.delivered + report.shed == report.ingested == len(events), (
+                f"served/{policy} lost events without accounting: {report}"
+            )
+            best = min(best, elapsed)
+            last_server = server
+        report = last_server.report()
+        policies[policy] = {
+            "capacity": cap,
+            "events_per_sec": len(events) / best,
+            "wall_seconds": best,
+            "delivered": report.delivered,
+            "shed": report.shed,
+            "shed_total_matches": sum(report.shed_by_source.values()) == report.shed,
+            "latency_p50": report.latency_quantiles.get(0.5, 0.0),
+            "latency_p99": report.latency_quantiles.get(0.99, 0.0),
+        }
+    serving_overhead = raw_best / policies[OverloadPolicy.BLOCK]["wall_seconds"]
+
+    sweep: List[Dict[str, object]] = []
+    for label, scheduler in [("fifo", "fifo")] + [
+        (f"jit_aware/{steps}", (lambda s=steps: build_scheduler("jit_aware", boost_steps=s)))
+        for steps in boost_steps
+    ]:
+        best = float("inf")
+        last_server = None
+        for _ in range(max(1, repeats)):
+            elapsed, counts, server = timed_served(
+                OverloadPolicy.BLOCK, capacity, scheduler=scheduler
+            )
+            assert counts == baseline_counts, (
+                f"boost sweep {label} changed the per-query results"
+            )
+            best = min(best, elapsed)
+            last_server = server
+        parsed_text = last_server.exposition()
+        sweep.append(
+            {
+                "scheduler": label,
+                "boost_steps": None if label == "fifo" else int(label.split("/")[1]),
+                "events_per_sec": len(events) / best,
+                "wall_seconds": best,
+                "boosts_granted": sum(
+                    get_metric_value(
+                        parsed_text, "serve_scheduler_boosts_granted_total", {"shard": str(i)}
+                    )
+                    for i in range(n_shards)
+                ),
+                "boosted_servings": sum(
+                    get_metric_value(
+                        parsed_text, "serve_scheduler_boosted_servings_total", {"shard": str(i)}
+                    )
+                    for i in range(n_shards)
+                ),
+            }
+        )
+
+    assert baseline_counts is not None
+    return {
+        "config": {
+            "n_queries": n_queries,
+            "n_sources": n_sources,
+            "n_events": len(events),
+            "window_seconds": 25.0,
+            "dmax": 200,
+            "seed": 17,
+            "strategy": STRATEGY_JIT,
+            "capacity": capacity,
+            "n_shards": n_shards,
+            "repeats": repeats,
+            "boost_steps": list(boost_steps),
+            "workload": workload.describe(),
+        },
+        "total_results": sum(baseline_counts.values()),
+        "raw_events_per_sec": len(events) / raw_best,
+        "serving_overhead_ratio": serving_overhead,
+        "policies": policies,
+        "boost_sweep": sweep,
+    }
+
+
+def _format_serve(table: Dict[str, object]) -> str:
+    config = table["config"]
+    lines = [
+        f"serving layer ({config['n_queries']} queries, {config['n_events']} events, "
+        f"{table['total_results']} results): raw {table['raw_events_per_sec']:,.0f} ev/s, "
+        f"served/raw throughput = {table['serving_overhead_ratio']:.2f}x"
+    ]
+    for policy, row in table["policies"].items():
+        lines.append(
+            f"  {policy:<12} cap={row['capacity']:<4} {row['events_per_sec']:>10,.0f} ev/s  "
+            f"delivered={row['delivered']} shed={row['shed']} "
+            f"p50={row['latency_p50']:.2f}s p99={row['latency_p99']:.2f}s"
+        )
+    lines.append("  boost sweep (block policy, jit_aware boost duration):")
+    for row in table["boost_sweep"]:
+        lines.append(
+            f"    {row['scheduler']:<14} {row['events_per_sec']:>10,.0f} ev/s  "
+            f"boosts={row['boosts_granted']:.0f} boosted_servings={row['boosted_servings']:.0f}"
+        )
+    return "\n".join(lines)
+
+
 def _format_sched(table: Dict[str, object]) -> str:
     lines = ["scheduler strategy: indexed vs select (1-shard domains)"]
     for row in table["domains"]:
@@ -553,6 +759,32 @@ def test_indexed_scheduler_speedup():
     )
 
 
+def test_serving_layer_accounting():
+    """Acceptance (ISSUE 6): the block-policy server reproduces raw engine
+    results exactly, shedding policies account every event, and the
+    boost-steps sweep never changes per-query results.
+
+    Deliberately no timing thresholds — the serving overhead is recorded in
+    ``BENCH_serve.json``; this test pins only the correctness half so it
+    cannot flake on shared-runner noise.
+    """
+    table = bench_serve(
+        n_queries=12, n_events=1_200, boost_steps=(2, 8), capacity=64, repeats=1
+    )
+    print()
+    print(_format_serve(table))
+    for policy, row in table["policies"].items():
+        assert row["shed_total_matches"], f"{policy}: shed accounting mismatch: {row}"
+        if policy == "block":
+            assert row["shed"] == 0
+            assert row["delivered"] == table["config"]["n_events"]
+    # jit_aware granted boosts and the sweep reported them through telemetry.
+    jit_rows = [r for r in table["boost_sweep"] if r["scheduler"] != "fifo"]
+    assert any(r["boosts_granted"] > 0 for r in jit_rows), (
+        f"boost sweep saw no feedback boosts: {jit_rows}"
+    )
+
+
 # --------------------------------------------------------------------------- CLI
 
 
@@ -560,12 +792,14 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("core", "probe", "ready", "multi", "sched", "all"),
+        choices=("core", "probe", "ready", "multi", "sched", "serve", "all"),
         default="core",
         help="which benchmark family to run: 'core' (default) is the quick "
         "probe + ready-set pair; 'multi' is the sharded multi-query sweep "
         "(records JSON); 'sched' compares indexed vs select scheduling "
-        "across domain sizes (records JSON); 'all' runs everything",
+        "across domain sizes (records JSON); 'serve' measures the serving "
+        "front-end and the jit_aware boost-steps sweep (records JSON); "
+        "'all' runs everything",
     )
     parser.add_argument("--events", type=int, default=DEFAULT_EVENTS)
     parser.add_argument("--queries", type=int, default=DEFAULT_QUERIES)
@@ -603,6 +837,31 @@ def main(argv: Optional[List[str]] = None) -> None:
         choices=("fifo", "round_robin", "priority", "jit_aware"),
         default="fifo",
         help="scheduler policy the sched suite measures",
+    )
+    parser.add_argument(
+        "--serve-queries",
+        type=int,
+        default=DEFAULT_SERVE_QUERIES,
+        help="standing-query population of the serving suite",
+    )
+    parser.add_argument(
+        "--serve-events",
+        type=int,
+        default=DEFAULT_SERVE_EVENTS,
+        help="arrivals per serving-suite variant",
+    )
+    parser.add_argument(
+        "--serve-capacity",
+        type=int,
+        default=256,
+        help="ingestion buffer capacity for the serving suite's block policy "
+        "(shedding policies run at capacity//8)",
+    )
+    parser.add_argument(
+        "--boost-steps",
+        default=",".join(str(n) for n in DEFAULT_BOOST_STEPS),
+        help="comma-separated jit_aware boost durations swept by the serve "
+        "suite (each must be positive; a FIFO baseline row is always added)",
     )
     parser.add_argument(
         "--json",
@@ -648,6 +907,21 @@ def main(argv: Optional[List[str]] = None) -> None:
         # Only an explicit sched run records, so `all` (whose --json path
         # belongs to the multi suite) never clobbers the committed artifact.
         json_path = (args.json or DEFAULT_SCHED_JSON) if args.suite == "sched" else None
+        if json_path is not None:
+            json_path.write_text(json.dumps(table, indent=2, sort_keys=True) + "\n")
+            print(f"  recorded -> {json_path}")
+    if args.suite in ("serve", "all"):
+        table = bench_serve(
+            n_queries=args.serve_queries,
+            n_events=args.serve_events,
+            boost_steps=tuple(int(s) for s in args.boost_steps.split(",")),
+            capacity=args.serve_capacity,
+            repeats=args.repeats,
+        )
+        print(_format_serve(table))
+        # Like multi/sched: only an explicit serve run records, so `all`
+        # never clobbers the committed artifact.
+        json_path = (args.json or DEFAULT_SERVE_JSON) if args.suite == "serve" else None
         if json_path is not None:
             json_path.write_text(json.dumps(table, indent=2, sort_keys=True) + "\n")
             print(f"  recorded -> {json_path}")

@@ -424,6 +424,27 @@ class ExecutionEngine:
 
     # -- execution ------------------------------------------------------------------
 
+    def submit(self, event: StreamEvent) -> None:
+        """Push one event (serving-front-end alias for :meth:`process_event`).
+
+        Gives the single-plan engine the same push-ingestion verbs as
+        :class:`~repro.multi.ShardedEngine`, so :class:`repro.serve.
+        StreamServer` can front either engine through one code path.
+        """
+        self.process_event(event)
+
+    def flush(self) -> None:
+        """Serving-front-end barrier: a no-op for the single-plan engine.
+
+        Every ``process_event`` drains to completion before returning, so
+        there is never buffered work to wait for.
+        """
+
+    @property
+    def queue_depth(self) -> int:
+        """Tuples currently in the inter-operator queues (0 in sync mode)."""
+        return sum(len(item.queue) for item in self._ready_meta)
+
     def process_event(self, event: StreamEvent) -> None:
         """Advance the clock and push one arrival into the plan."""
         self.context.clock.advance_to(event.ts)

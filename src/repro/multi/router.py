@@ -21,13 +21,24 @@ class StreamRouter:
     def __init__(self) -> None:
         self._subscriptions: Dict[str, Set[int]] = {}
         self._cache: Dict[str, Tuple[int, ...]] = {}
+        #: Source name -> number of standing-query subscriptions.  Each
+        #: hosted plan consuming a source calls :meth:`subscribe` exactly
+        #: once for it, so this counts *queries*, not shards — the fan-out
+        #: weight the serving layer's ``fair_shed`` policy uses to decide
+        #: whose traffic is heaviest.
+        self.query_subscribers: Dict[str, int] = {}
         #: Events submitted for sources with no subscriber (observability).
         self.dropped_events = 0
 
     def subscribe(self, source: str, shard_id: int) -> None:
         """Record that ``shard_id`` hosts a plan consuming ``source``."""
         self._subscriptions.setdefault(source, set()).add(shard_id)
+        self.query_subscribers[source] = self.query_subscribers.get(source, 0) + 1
         self._cache.pop(source, None)
+
+    def subscriber_count(self, source: str) -> int:
+        """Number of standing-query subscriptions on ``source`` (0 when none)."""
+        return self.query_subscribers.get(source, 0)
 
     def shards_for(self, source: str) -> Tuple[int, ...]:
         """The sorted shard ids subscribed to ``source`` (empty when none)."""

@@ -248,6 +248,16 @@ class ShardEngine:
         """Number of operator input queues across all hosted plans."""
         return len(self._ready_meta)
 
+    @property
+    def queue_depth(self) -> int:
+        """Tuples currently sitting in this shard's inter-operator queues.
+
+        Non-zero between drains (thread-per-shard mode mid-flight, or while
+        a drain is in progress); the serving layer's telemetry samples it as
+        the per-shard queue-depth gauge.
+        """
+        return sum(len(item.queue) for item in self._ready_meta)
+
     # -- execution -----------------------------------------------------------
 
     def _on_queue_readiness(self, queue: InterOperatorQueue, nonempty: bool) -> None:

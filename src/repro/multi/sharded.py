@@ -266,6 +266,13 @@ class ShardedEngine:
         self.events_ingested = 0
         self._pending: List[StreamEvent] = []
         self._pending_ts: Optional[float] = None
+        #: Guards the pending micro-batch swap.  ``flush()`` may be called
+        #: from several threads (a serving front-end's barrier racing a
+        #: closing source); without the lock two flushes could both read
+        #: ``_pending`` before either clears it and dispatch the same batch
+        #: twice.  With it, exactly one caller takes the batch and a flush
+        #: of an empty buffer is a pure no-op.
+        self._pending_lock = threading.Lock()
         self._closed = False
         self._workers: List[_ShardWorker] = []
         if threaded:
@@ -342,9 +349,14 @@ class ShardedEngine:
             raise RuntimeError("the sharded engine is closed")
 
     def _flush_pending(self) -> None:
-        if self._pending:
+        # The swap happens under the lock; the dispatch (which drains shards
+        # in the synchronous mode) deliberately does not, so a slow drain
+        # cannot block a concurrent no-op flush of the now-empty buffer.
+        with self._pending_lock:
+            if not self._pending:
+                return
             batch, self._pending, self._pending_ts = self._pending, [], None
-            self._dispatch_batch(batch)
+        self._dispatch_batch(batch)
 
     def _dispatch_event(self, event: StreamEvent) -> None:
         self.clock.observe(event.ts)

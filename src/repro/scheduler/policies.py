@@ -339,6 +339,12 @@ class JITAwareScheduler(OperatorScheduler):
         if boost_steps <= 0:
             raise ValueError(f"boost_steps must be positive, got {boost_steps}")
         self.boost_steps = boost_steps
+        #: Serving counters surfaced through :meth:`stats` (telemetry): how
+        #: many boosts feedback granted and how many scheduling decisions
+        #: were actually taken from the boosted band.  Both sit off the
+        #: per-tuple hot path (feedback and boosted servings are rare).
+        self.boosts_granted = 0
+        self.boosted_servings = 0
         #: id(operator) -> remaining boosted servings.  Boosts are
         #: short-lived by construction (consumed within ``boost_steps``
         #: servings); ``retire`` drops any left by retired operators.
@@ -359,6 +365,7 @@ class JITAwareScheduler(OperatorScheduler):
         else:
             target = producer
         op = id(target)
+        self.boosts_granted += 1
         self._boosts[op] = self.boost_steps
         for order in self._by_op.get(op, ()):
             item = self._ready[order]
@@ -366,6 +373,7 @@ class JITAwareScheduler(OperatorScheduler):
 
     def _consume_boost(self, operator: Operator) -> None:
         """One boosted serving happened; expire the boost when used up."""
+        self.boosted_servings += 1
         op = id(operator)
         remaining = self._boosts.get(op, 0) - 1
         if remaining > 0:
@@ -439,6 +447,12 @@ class JITAwareScheduler(OperatorScheduler):
             if op not in self._by_op:
                 self._boosts.pop(op, None)
 
+    def stats(self) -> dict:
+        return {
+            "boosts_granted": self.boosts_granted,
+            "boosted_servings": self.boosted_servings,
+        }
+
 
 _POLICIES = {
     FIFOScheduler.name: FIFOScheduler,
@@ -448,12 +462,18 @@ _POLICIES = {
 }
 
 
-def build_scheduler(name: str = "fifo") -> OperatorScheduler:
+def build_scheduler(name: str = "fifo", **kwargs) -> OperatorScheduler:
     """Build a scheduler by policy name (``fifo``, ``round_robin``, ``priority``,
-    ``jit_aware``)."""
+    ``jit_aware``).
+
+    Keyword arguments are forwarded to the policy constructor — e.g.
+    ``build_scheduler("jit_aware", boost_steps=16)`` for the boost-steps
+    sweep in ``benchmarks/bench_throughput.py``.
+    """
     try:
-        return _POLICIES[name]()
+        policy = _POLICIES[name]
     except KeyError:
         raise ValueError(
             f"unknown scheduler policy {name!r}; expected one of {sorted(_POLICIES)}"
         ) from None
+    return policy(**kwargs)

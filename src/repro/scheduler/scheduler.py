@@ -151,5 +151,14 @@ class OperatorScheduler:
         rules use this to apply temporary boosts; the default ignores it.
         """
 
+    def stats(self) -> dict:
+        """Policy-specific serving counters for the telemetry surface.
+
+        Stateless policies report nothing; ``jit_aware`` reports its boost
+        grants and boosted servings.  Keys are metric-suffix-friendly
+        snake_case names mapping to numbers.
+        """
+        return {}
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -1,0 +1,556 @@
+"""The production serving front-end: bounded ingestion around an engine.
+
+:class:`StreamServer` is what stands between a hot source and the engine.
+Raw ``submit``/``ingest_async`` on the engines buffer unboundedly and give
+overload no policy; the server adds, in order, on every submitted event:
+
+1. **Admission** — the installed :data:`~repro.serve.admission.
+   AdmissionPolicy` can refuse the event outright (counted, never silent).
+2. **Bounded buffering** — the event enters a
+   :class:`~repro.serve.buffers.BoundedIngestionBuffer`.  When the buffer
+   is full, the configured :class:`~repro.serve.buffers.OverloadPolicy`
+   decides: ``block`` makes the submitter pay for draining first
+   (backpressure as work — or a genuine coroutine suspension through
+   :class:`~repro.serve.aio.AsyncStreamServer`), ``drop_oldest`` /
+   ``fair_shed`` evict a buffered event, accounted per source and policy.
+3. **Ordered delivery** — :meth:`drain` moves buffered events into the
+   wrapped engine strictly in arrival order, so everything that is
+   delivered is processed exactly as an unbuffered run would process it
+   (the equivalence tests pin this bit-identically).
+
+Telemetry is always on: a :class:`~repro.serve.telemetry.TelemetryRegistry`
+(owned or shared) carries counters for every accept/shed/reject/delivery,
+pull-gauges over the live buffer and shard queues, an ingest→emit latency
+histogram with p50/p95/p99, and MNS suspension/resumption rates observed
+through the engines' feedback listeners.  Latency is *virtual*: the lag
+between the server's ingestion watermark (the newest accepted timestamp)
+and a result's timestamp at the moment it is emitted — the serving-layer
+counterpart of the :class:`~repro.multi.clock.SharedVirtualClock`
+watermark, measurable identically in sync, threaded and buffered modes.
+
+The server fronts either a :class:`~repro.multi.ShardedEngine` or a queued
+single-plan :class:`~repro.engine.engine.ExecutionEngine`; both expose the
+``submit``/``flush`` verbs and per-shard structure the server needs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.feedback import FeedbackKind
+from repro.engine.engine import ExecutionEngine
+from repro.serve.admission import AdmissionPolicy
+from repro.serve.buffers import (
+    OFFER_BLOCKED,
+    BoundedIngestionBuffer,
+    OverloadPolicy,
+)
+from repro.serve.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    TelemetryRegistry,
+)
+from repro.streams.sources import StreamEvent
+
+__all__ = ["ServingReport", "StreamServer", "METRIC_DOC"]
+
+#: Every metric family the server registers: name -> (kind, labels, meaning).
+#: ``docs/SERVING.md`` renders this catalog and the telemetry tests assert
+#: each entry exists in the exposition — keep all three in sync.
+METRIC_DOC: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
+    "serve_ingested_total": (
+        "counter", ("source",), "Events accepted into the ingestion buffer."
+    ),
+    "serve_delivered_total": (
+        "counter", ("source",), "Buffered events delivered to the engine in order."
+    ),
+    "serve_shed_total": (
+        "counter", ("policy", "source"), "Events shed by the overload policy."
+    ),
+    "serve_rejected_total": (
+        "counter", (), "Events refused by the admission policy."
+    ),
+    "serve_results_total": (
+        "counter", (), "Query results emitted by the wrapped engine."
+    ),
+    "serve_backpressure_engagements_total": (
+        "counter", (), "Times a full buffer forced the block policy to drain."
+    ),
+    "serve_events_per_second": (
+        "gauge", (), "Delivered events per wall-clock second since the server started."
+    ),
+    "serve_buffer_occupancy": (
+        "gauge", ("source",), "Events currently buffered, per source."
+    ),
+    "serve_buffer_capacity": (
+        "gauge", (), "Configured bound of the ingestion buffer."
+    ),
+    "serve_shard_queue_depth": (
+        "gauge", ("shard",), "Tuples in each shard's inter-operator queues right now."
+    ),
+    "serve_ingest_watermark": (
+        "gauge", (), "Newest accepted event timestamp (virtual seconds)."
+    ),
+    "serve_result_latency": (
+        "histogram", (),
+        "Virtual ingest-to-emit latency of results: ingestion watermark minus "
+        "result timestamp at emission (buckets/sum/count plus "
+        "serve_result_latency_quantile{quantile=\"0.5|0.95|0.99\"}).",
+    ),
+    "serve_suspensions_total": (
+        "counter", ("shard",), "MNS suspension feedback messages (suspend + mark)."
+    ),
+    "serve_resumptions_total": (
+        "counter", ("shard",), "MNS resumption feedback messages (resume + unmark)."
+    ),
+    "serve_suspension_rate_per_second": (
+        "gauge", (), "Suspension messages per wall-clock second since start."
+    ),
+    "serve_resumption_rate_per_second": (
+        "gauge", (), "Resumption messages per wall-clock second since start."
+    ),
+    "serve_scheduler_steps_total": (
+        "gauge", ("shard",), "Scheduling decisions taken, per shard (from the cost model)."
+    ),
+    "serve_scheduler_boosts_granted_total": (
+        "gauge", ("shard",), "jit_aware boosts granted by feedback, per shard (0 for other policies)."
+    ),
+    "serve_scheduler_boosted_servings_total": (
+        "gauge", ("shard",), "Scheduling decisions served from the boosted band, per shard."
+    ),
+    "serve_uptime_seconds": (
+        "gauge", (), "Wall-clock seconds since the server was constructed."
+    ),
+}
+
+
+@dataclass
+class ServingReport:
+    """Accounting snapshot of one server's lifetime."""
+
+    policy: str
+    capacity: int
+    ingested: int
+    delivered: int
+    shed: int
+    rejected: int
+    backpressure_engagements: int
+    results: int
+    shed_by_source: Dict[str, int] = field(default_factory=dict)
+    latency_quantiles: Dict[float, float] = field(default_factory=dict)
+
+    @property
+    def accounted(self) -> int:
+        """Every submitted event's fate, summed: delivered + shed + buffered.
+
+        ``ingested - delivered - shed`` is whatever still sits in the
+        buffer; nothing is ever unaccounted.
+        """
+        return self.delivered + self.shed
+
+    def summary(self) -> str:
+        """One-line summary used by examples and benchmarks."""
+        quantiles = ", ".join(
+            f"p{int(q * 100)}={v:.2f}s" for q, v in sorted(self.latency_quantiles.items())
+        )
+        return (
+            f"serve[{self.policy}/cap={self.capacity}]: {self.ingested} accepted, "
+            f"{self.delivered} delivered, {self.shed} shed, {self.rejected} rejected "
+            f"-> {self.results} results ({quantiles})"
+        )
+
+
+class StreamServer:
+    """Bounded, policy-governed, telemetry-instrumented ingestion front-end.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`~repro.multi.ShardedEngine` or a queued
+        :class:`~repro.engine.engine.ExecutionEngine` to front.
+    capacity:
+        Bound of the ingestion buffer.
+    policy:
+        :class:`~repro.serve.buffers.OverloadPolicy` constant.
+    telemetry:
+        Optional shared :class:`TelemetryRegistry`; the server creates its
+        own when omitted.  Metric families are registered idempotently, so
+        several servers may share one registry only if they serve disjoint
+        label spaces.
+    admission:
+        Optional :data:`~repro.serve.admission.AdmissionPolicy` consulted
+        before buffering; ``None`` admits everything.
+    drain_batch:
+        Events moved per backpressure engagement of the ``block`` policy
+        (and the default chunk of :meth:`drain` in the asyncio adapter).
+    """
+
+    def __init__(
+        self,
+        engine,
+        capacity: int = 1024,
+        policy: str = OverloadPolicy.BLOCK,
+        telemetry: Optional[TelemetryRegistry] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        drain_batch: int = 64,
+    ) -> None:
+        if drain_batch < 1:
+            raise ValueError(f"drain_batch must be positive, got {drain_batch}")
+        self.engine = engine
+        self.policy = policy
+        self.drain_batch = drain_batch
+        self.admission = admission
+        self.telemetry = telemetry if telemetry is not None else TelemetryRegistry()
+        self._started = time.perf_counter()
+        self._shards = self._discover_shards()
+        self.buffer = BoundedIngestionBuffer(
+            capacity, policy, weight_fn=self._subscriber_weight_fn()
+        )
+        #: Newest accepted event timestamp — the serving-side watermark the
+        #: latency histogram measures emission against.
+        self.ingest_watermark = float("-inf")
+        self._closed = False
+        self._register_metrics()
+        self._instrument_results()
+        self._instrument_feedback()
+
+    # -- engine shape discovery ----------------------------------------------
+
+    def _discover_shards(self) -> List[object]:
+        """The per-shard objects (ShardEngine list, or the engine itself)."""
+        shards = getattr(self.engine, "shards", None)
+        if shards is not None:
+            return list(shards)
+        if isinstance(self.engine, ExecutionEngine):
+            return [self.engine]
+        raise TypeError(
+            f"cannot serve {type(self.engine).__name__}; expected a ShardedEngine "
+            "or an ExecutionEngine"
+        )
+
+    def _subscriber_weight_fn(self):
+        router = getattr(self.engine, "router", None)
+        if router is None:
+            return None
+        return router.subscriber_count
+
+    def _runtime_sinks(self) -> Iterable[Tuple[object, object]]:
+        """Yield ``(plan, collector)`` for every hosted query."""
+        runtimes = getattr(self.engine, "_runtimes", None)
+        if runtimes is not None:
+            for runtime in runtimes.values():
+                yield runtime.plan, runtime.collector
+        else:
+            yield self.engine.plan, self.engine.collector
+
+    def _feedback_contexts(self) -> Iterable[Tuple[str, object]]:
+        """Yield ``(shard_label, context)`` for every hosted plan context."""
+        runtimes = getattr(self.engine, "_runtimes", None)
+        if runtimes is not None:
+            for runtime in runtimes.values():
+                yield str(runtime.shard_id), runtime.context
+        else:
+            yield "0", self.engine.context
+
+    # -- telemetry wiring ------------------------------------------------------
+
+    def _register_metrics(self) -> None:
+        registry = self.telemetry
+        self._ingested = registry.counter(
+            "serve_ingested_total", METRIC_DOC["serve_ingested_total"][2], ("source",)
+        )
+        self._delivered = registry.counter(
+            "serve_delivered_total", METRIC_DOC["serve_delivered_total"][2], ("source",)
+        )
+        self._shed = registry.counter(
+            "serve_shed_total", METRIC_DOC["serve_shed_total"][2], ("policy", "source")
+        )
+        self._rejected = registry.counter(
+            "serve_rejected_total", METRIC_DOC["serve_rejected_total"][2]
+        )
+        self._results = registry.counter(
+            "serve_results_total", METRIC_DOC["serve_results_total"][2]
+        )
+        self._backpressure = registry.counter(
+            "serve_backpressure_engagements_total",
+            METRIC_DOC["serve_backpressure_engagements_total"][2],
+        )
+        self.latency = registry.histogram(
+            "serve_result_latency",
+            METRIC_DOC["serve_result_latency"][2],
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._suspensions = registry.counter(
+            "serve_suspensions_total", METRIC_DOC["serve_suspensions_total"][2], ("shard",)
+        )
+        self._resumptions = registry.counter(
+            "serve_resumptions_total", METRIC_DOC["serve_resumptions_total"][2], ("shard",)
+        )
+        registry.gauge(
+            "serve_events_per_second",
+            METRIC_DOC["serve_events_per_second"][2],
+            callback=lambda: self.delivered_total / max(1e-9, self.uptime_seconds),
+        )
+        registry.gauge(
+            "serve_buffer_occupancy",
+            METRIC_DOC["serve_buffer_occupancy"][2],
+            ("source",),
+            callback=lambda: dict(self.buffer.occupancy) or {"": 0},
+        )
+        registry.gauge(
+            "serve_buffer_capacity",
+            METRIC_DOC["serve_buffer_capacity"][2],
+            callback=lambda: self.buffer.capacity,
+        )
+        registry.gauge(
+            "serve_shard_queue_depth",
+            METRIC_DOC["serve_shard_queue_depth"][2],
+            ("shard",),
+            callback=self.shard_queue_depths,
+        )
+        registry.gauge(
+            "serve_ingest_watermark",
+            METRIC_DOC["serve_ingest_watermark"][2],
+            callback=lambda: self.ingest_watermark
+            if self.ingest_watermark != float("-inf")
+            else 0.0,
+        )
+        registry.gauge(
+            "serve_suspension_rate_per_second",
+            METRIC_DOC["serve_suspension_rate_per_second"][2],
+            callback=lambda: self._suspensions.total / max(1e-9, self.uptime_seconds),
+        )
+        registry.gauge(
+            "serve_resumption_rate_per_second",
+            METRIC_DOC["serve_resumption_rate_per_second"][2],
+            callback=lambda: self._resumptions.total / max(1e-9, self.uptime_seconds),
+        )
+        registry.gauge(
+            "serve_scheduler_steps_total",
+            METRIC_DOC["serve_scheduler_steps_total"][2],
+            ("shard",),
+            callback=lambda: {
+                str(index): self._shard_cost(shard).count("scheduler_step")
+                for index, shard in enumerate(self._shards)
+            },
+        )
+        registry.gauge(
+            "serve_scheduler_boosts_granted_total",
+            METRIC_DOC["serve_scheduler_boosts_granted_total"][2],
+            ("shard",),
+            callback=lambda: self._scheduler_stat("boosts_granted"),
+        )
+        registry.gauge(
+            "serve_scheduler_boosted_servings_total",
+            METRIC_DOC["serve_scheduler_boosted_servings_total"][2],
+            ("shard",),
+            callback=lambda: self._scheduler_stat("boosted_servings"),
+        )
+        registry.gauge(
+            "serve_uptime_seconds",
+            METRIC_DOC["serve_uptime_seconds"][2],
+            callback=lambda: self.uptime_seconds,
+        )
+
+    @staticmethod
+    def _shard_cost(shard):
+        cost = getattr(shard, "cost", None)
+        if cost is not None:
+            return cost
+        return shard.context.cost
+
+    def _scheduler_stat(self, key: str) -> Dict[str, float]:
+        return {
+            str(index): float(shard.scheduler.stats().get(key, 0))
+            for index, shard in enumerate(self._shards)
+        }
+
+    def _instrument_results(self) -> None:
+        """Wrap every hosted plan's result sink with latency observation.
+
+        The collector's ``add`` still runs first and unchanged, so result
+        state (sequences, ordering checks) is bit-identical to an
+        uninstrumented run; the wrapper only *observes*.
+        """
+        for plan, collector in self._runtime_sinks():
+            plan.set_result_sink(self._make_sink(collector.add))
+
+    def _make_sink(self, inner_add):
+        observe = self.latency.observe
+        results_inc = self._results.inc
+
+        def sink(tup) -> None:
+            inner_add(tup)
+            results_inc()
+            lag = self.ingest_watermark - tup.ts
+            observe(lag if lag > 0.0 else 0.0)
+
+        return sink
+
+    def _instrument_feedback(self) -> None:
+        suspension_kinds = (FeedbackKind.SUSPEND, FeedbackKind.MARK)
+        for shard_label, context in self._feedback_contexts():
+            suspend_child = self._suspensions.labels(shard=shard_label)
+            resume_child = self._resumptions.labels(shard=shard_label)
+
+            def listener(
+                producer,
+                consumer,
+                kind,
+                _suspend=suspend_child,
+                _resume=resume_child,
+            ) -> None:
+                if kind in suspension_kinds:
+                    _suspend.inc()
+                else:
+                    _resume.inc()
+
+            context.add_feedback_listener(listener)
+
+    # -- live introspection ----------------------------------------------------
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Wall-clock seconds since construction."""
+        return time.perf_counter() - self._started
+
+    @property
+    def ingested_total(self) -> int:
+        """Events accepted into the buffer so far."""
+        return self.buffer.accepted_total
+
+    @property
+    def delivered_total(self) -> int:
+        """Events handed to the engine so far."""
+        return self.buffer.popped_total
+
+    @property
+    def shed_total(self) -> int:
+        """Events shed by the overload policy so far."""
+        return self.buffer.shed_total
+
+    @property
+    def rejected_total(self) -> int:
+        """Events refused by admission so far."""
+        return int(self._rejected.value())
+
+    def shard_queue_depths(self) -> Dict[str, int]:
+        """Live inter-operator queue depth per shard label."""
+        return {
+            str(index): shard.queue_depth for index, shard in enumerate(self._shards)
+        }
+
+    def shard_queue_depth_total(self) -> int:
+        """Summed inter-operator queue depth across every shard."""
+        return sum(shard.queue_depth for shard in self._shards)
+
+    def exposition(self) -> str:
+        """The Prometheus text exposition of every serving metric."""
+        return self.telemetry.exposition()
+
+    # -- ingestion -------------------------------------------------------------
+
+    def submit(self, event: StreamEvent) -> bool:
+        """Push one event through admission, the buffer, and the policy.
+
+        Returns ``True`` when the event was accepted into the buffer (it
+        may still be shed later by a subsequent overflow under the shedding
+        policies), ``False`` when admission refused it.  Under the
+        ``block`` policy a full buffer makes this call do engine work
+        (drain) before accepting — the synchronous form of backpressure —
+        so it never sheds and never loses an event.
+        """
+        self._check_open()
+        if self.admission is not None and not self.admission(event, self):
+            self._rejected.inc()
+            return False
+        outcome, shed = self.buffer.offer(event)
+        while outcome == OFFER_BLOCKED:
+            self._backpressure.inc()
+            self.drain(self.drain_batch)
+            outcome, shed = self.buffer.offer(event)
+        for victim in shed:
+            self._shed.labels(policy=self.policy, source=victim.source).inc()
+        self._ingested.labels(source=event.source).inc()
+        if event.ts > self.ingest_watermark:
+            self.ingest_watermark = event.ts
+        return True
+
+    def submit_many(self, events: Iterable[StreamEvent]) -> int:
+        """Submit a sequence of events; returns how many were admitted."""
+        return sum(1 for event in events if self.submit(event))
+
+    def drain(self, max_events: Optional[int] = None) -> int:
+        """Deliver up to ``max_events`` buffered events to the engine, in order."""
+        self._check_open()
+        delivered = 0
+        for event in self.buffer.pop_batch(max_events):
+            self.engine.submit(event)
+            self._delivered.labels(source=event.source).inc()
+            delivered += 1
+        return delivered
+
+    def flush(self) -> int:
+        """Drain the whole buffer and wait for the engine's own barrier."""
+        delivered = self.drain(None)
+        self.engine.flush()
+        return delivered
+
+    # -- results and lifecycle -------------------------------------------------
+
+    def results_for(self, query_id: str):
+        """Per-query result collector (sharded engines only)."""
+        return self.engine.results_for(query_id)
+
+    def report(self) -> ServingReport:
+        """Snapshot the serving-side accounting."""
+        return ServingReport(
+            policy=self.policy,
+            capacity=self.buffer.capacity,
+            ingested=self.ingested_total,
+            delivered=self.delivered_total,
+            shed=self.shed_total,
+            rejected=self.rejected_total,
+            backpressure_engagements=int(self._backpressure.value()),
+            results=int(self._results.value()),
+            shed_by_source=dict(self.buffer.shed_by_source),
+            latency_quantiles={
+                q: self.latency.percentile(q) for q in self.latency.quantiles
+            },
+        )
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("the stream server is closed")
+
+    def close(self) -> None:
+        """Flush buffered events and close the engine (idempotent)."""
+        if self._closed:
+            return
+        try:
+            self.flush()
+        finally:
+            self._closed = True
+            close = getattr(self.engine, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "StreamServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            try:
+                self.close()
+            except BaseException:
+                pass
+            return
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamServer(policy={self.policy}, buffer={len(self.buffer)}/"
+            f"{self.buffer.capacity}, ingested={self.ingested_total}, "
+            f"shed={self.shed_total})"
+        )

@@ -1,0 +1,322 @@
+"""Tests for the serving telemetry surface (repro.serve.telemetry).
+
+UTFW-style coverage: the metric primitives and registry are tested through
+the *exposition text* wherever possible (parse → assert existence and
+range), so the tests pin the externally visible contract scrapers rely on.
+The second half drives a real sharded engine through a
+:class:`StreamServer` and asserts every documented metric family exists
+with a sane value — and that instrumenting changes no result sequences.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import run_workload
+from repro.multi import QueryRegistry, ShardedEngine, generate_multi_query_workload
+from repro.plans.builder import STRATEGY_JIT, STRATEGY_REF
+from repro.serve import (
+    METRIC_DOC,
+    Counter,
+    Gauge,
+    Histogram,
+    OverloadPolicy,
+    StreamServer,
+    TelemetryError,
+    TelemetryRegistry,
+    get_metric_value,
+    parse_exposition,
+    validate_metric_exists,
+    validate_metric_range,
+)
+
+# ------------------------------------------------------------------ primitives
+
+
+class TestCounter:
+    def test_increments_and_renders(self):
+        counter = Counter("requests_total", "Requests.")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+        parsed = parse_exposition("\n".join(counter.render()))
+        assert parsed["requests_total"][()] == 3.5
+
+    def test_rejects_negative_increment(self):
+        counter = Counter("c_total", "x")
+        with pytest.raises(TelemetryError):
+            counter.inc(-1)
+
+    def test_labelled_children_are_independent(self):
+        counter = Counter("events_total", "x", ("source",))
+        counter.labels(source="A").inc()
+        counter.labels(source="A").inc()
+        counter.labels(source="B").inc()
+        assert counter.value(source="A") == 2
+        assert counter.value(source="B") == 1
+        assert counter.value(source="C") == 0
+        assert counter.total == 3
+
+    def test_labelless_inc_on_labelled_counter_raises(self):
+        counter = Counter("events_total", "x", ("source",))
+        with pytest.raises(TelemetryError):
+            counter.inc()
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(TelemetryError):
+            Counter("bad name!", "x")
+
+
+class TestGauge:
+    def test_set_and_render(self):
+        gauge = Gauge("depth", "x")
+        gauge.set(7)
+        assert get_metric_value("\n".join(gauge.render()), "depth") == 7
+
+    def test_callback_sampled_at_render(self):
+        state = {"value": 1}
+        gauge = Gauge("live", "x", callback=lambda: state["value"])
+        assert gauge.value() == 1
+        state["value"] = 42
+        assert get_metric_value("\n".join(gauge.render()), "live") == 42
+
+    def test_callback_mapping_becomes_labelled_series(self):
+        gauge = Gauge("depth", "x", ("shard",), callback=lambda: {"0": 3, "1": 5})
+        text = "\n".join(gauge.render())
+        assert get_metric_value(text, "depth", {"shard": "0"}) == 3
+        assert get_metric_value(text, "depth", {"shard": "1"}) == 5
+
+    def test_set_on_callback_gauge_raises(self):
+        gauge = Gauge("live", "x", callback=lambda: 0)
+        with pytest.raises(TelemetryError):
+            gauge.set(1)
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative(self):
+        hist = Histogram("lat", "x", buckets=(1.0, 5.0))
+        for value in (0.5, 0.7, 3.0, 99.0):
+            hist.observe(value)
+        parsed = parse_exposition("\n".join(hist.render()))
+        assert parsed["lat_bucket"][(("le", "1"),)] == 2
+        assert parsed["lat_bucket"][(("le", "5"),)] == 3
+        assert parsed["lat_bucket"][(("le", "+Inf"),)] == 4
+        assert parsed["lat_count"][()] == 4
+        assert parsed["lat_sum"][()] == pytest.approx(103.2)
+
+    def test_nearest_rank_percentiles(self):
+        hist = Histogram("lat", "x", buckets=(1000.0,))
+        for value in range(1, 101):  # 1..100
+            hist.observe(float(value))
+        assert hist.percentile(0.5) == 50
+        assert hist.percentile(0.95) == 95
+        assert hist.percentile(0.99) == 99
+        assert hist.percentile(1.0) == 100
+
+    def test_percentile_of_empty_is_zero(self):
+        assert Histogram("lat", "x").percentile(0.5) == 0.0
+
+    def test_quantile_series_in_exposition(self):
+        hist = Histogram("lat", "x", buckets=(10.0,), quantiles=(0.5,))
+        hist.observe(4.0)
+        text = "\n".join(hist.render())
+        assert get_metric_value(text, "lat_quantile", {"quantile": "0.5"}) == 4.0
+
+    def test_window_eviction_keeps_lifetime_counts(self):
+        hist = Histogram("lat", "x", buckets=(1000.0,), max_samples=10)
+        for value in range(100):
+            hist.observe(float(value))
+        # Quantiles see only the freshest 10 observations …
+        assert hist.percentile(0.5) == 94
+        # … but count/sum stay lifetime totals.
+        assert hist.count == 100
+        assert hist.sum == sum(range(100))
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(TelemetryError):
+            Histogram("lat", "x", buckets=(5.0, 1.0))
+
+
+class TestRegistry:
+    def test_idempotent_by_name(self):
+        registry = TelemetryRegistry()
+        first = registry.counter("a_total", "x")
+        second = registry.counter("a_total", "x")
+        assert first is second
+
+    def test_kind_conflict_raises(self):
+        registry = TelemetryRegistry()
+        registry.counter("a_total", "x")
+        with pytest.raises(TelemetryError):
+            registry.gauge("a_total", "x")
+
+    def test_exposition_has_help_and_type(self):
+        registry = TelemetryRegistry()
+        registry.counter("a_total", "Helpful.")
+        text = registry.exposition()
+        assert "# HELP a_total Helpful." in text
+        assert "# TYPE a_total counter" in text
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(TelemetryError):
+            TelemetryRegistry().get("nope")
+
+    def test_contains_and_names(self):
+        registry = TelemetryRegistry()
+        registry.gauge("g", "x")
+        assert "g" in registry
+        assert registry.names == ["g"]
+
+
+class TestHelpers:
+    def test_validate_range_rejects_outside(self):
+        text = 'x_total 5\n'
+        assert validate_metric_range(text, "x_total", 0, 10) == 5
+        with pytest.raises(TelemetryError):
+            validate_metric_range(text, "x_total", 6, 10)
+
+    def test_get_metric_value_requires_labels_when_ambiguous(self):
+        text = 'd{shard="0"} 1\nd{shard="1"} 2\n'
+        with pytest.raises(TelemetryError):
+            get_metric_value(text, "d")
+        assert get_metric_value(text, "d", {"shard": "1"}) == 2
+
+    def test_missing_metric_raises(self):
+        with pytest.raises(TelemetryError):
+            validate_metric_exists("a 1\n", "b")
+
+
+# ------------------------------------------------- live exposition & equivalence
+
+
+def _workload():
+    return generate_multi_query_workload(
+        n_queries=6, n_sources=4, rate=0.8, window_seconds=20, dmax=4, duration=90, seed=11
+    )
+
+
+def _registry(workload):
+    registry = QueryRegistry()
+    for index, query in enumerate(workload.queries()):
+        registry.register(query, strategy=STRATEGY_JIT if index % 2 else STRATEGY_REF)
+    return registry
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One sharded engine run through a block-policy server, plus its text."""
+    workload = _workload()
+    engine = ShardedEngine(_registry(workload), n_shards=2, scheduler="jit_aware")
+    server = StreamServer(engine, capacity=32, policy=OverloadPolicy.BLOCK)
+    for event in workload.events():
+        server.submit(event)
+    server.flush()
+    return server, parse_exposition(server.exposition())
+
+
+class TestDocumentedMetricsExist:
+    """Every family in METRIC_DOC must appear in a live exposition, in range."""
+
+    def test_counters_and_gauges(self, served):
+        server, parsed = served
+        n_events = server.ingested_total
+        assert n_events > 0
+        # Sample names differ from family names for histograms.
+        checks = {
+            "serve_ingested_total": (1, n_events),
+            "serve_delivered_total": (1, n_events),
+            "serve_rejected_total": (0, 0),
+            "serve_results_total": (1, float("inf")),
+            "serve_backpressure_engagements_total": (1, float("inf")),
+            "serve_events_per_second": (0.000001, float("inf")),
+            "serve_buffer_occupancy": (0, 32),
+            "serve_buffer_capacity": (32, 32),
+            "serve_shard_queue_depth": (0, 0),  # flushed → drained
+            "serve_ingest_watermark": (0.000001, float("inf")),
+            "serve_suspension_rate_per_second": (0, float("inf")),
+            "serve_resumption_rate_per_second": (0, float("inf")),
+            "serve_scheduler_steps_total": (1, float("inf")),
+            "serve_scheduler_boosts_granted_total": (0, float("inf")),
+            "serve_scheduler_boosted_servings_total": (0, float("inf")),
+            "serve_uptime_seconds": (0.0, float("inf")),
+        }
+        for name, (low, high) in checks.items():
+            series = parsed[name]
+            assert series, f"metric {name} has no series"
+            for labels, value in series.items():
+                assert low <= value <= high, f"{name}{labels} = {value} not in [{low}, {high}]"
+
+    def test_shed_total_absent_when_nothing_shed(self, served):
+        _, parsed = served
+        # block policy sheds nothing, so the family renders no samples; the
+        # family is still registered on the server.
+        assert parsed.get("serve_shed_total", {}) == {}
+
+    def test_latency_histogram_full_family(self, served):
+        server, parsed = served
+        count = validate_metric_range(parsed, "serve_result_latency_count", 1)
+        assert count == server.report().results
+        validate_metric_range(parsed, "serve_result_latency_sum", 0)
+        buckets = parsed["serve_result_latency_bucket"]
+        inf_key = (("le", "+Inf"),)
+        assert buckets[inf_key] == count
+        # Cumulative: every bucket ≤ the +Inf bucket.
+        assert all(value <= count for value in buckets.values())
+        for quantile in ("0.5", "0.95", "0.99"):
+            validate_metric_range(
+                parsed, "serve_result_latency_quantile", 0, labels={"quantile": quantile}
+            )
+        # Percentiles are monotone in the quantile.
+        p50 = get_metric_value(parsed, "serve_result_latency_quantile", {"quantile": "0.5"})
+        p95 = get_metric_value(parsed, "serve_result_latency_quantile", {"quantile": "0.95"})
+        p99 = get_metric_value(parsed, "serve_result_latency_quantile", {"quantile": "0.99"})
+        assert p50 <= p95 <= p99
+
+    def test_suspension_and_resumption_counters(self, served):
+        server, parsed = served
+        # The workload is dense enough (dmax=4, live window) that MNS
+        # feedback must have flowed; suspensions ≥ resumptions ≥ 0.
+        total_suspend = sum(parsed["serve_suspensions_total"].values())
+        total_resume = sum(parsed["serve_resumptions_total"].values())
+        assert total_suspend >= 1
+        assert 0 <= total_resume <= total_suspend
+
+    def test_every_documented_family_registered(self, served):
+        server, _ = served
+        for name in METRIC_DOC:
+            assert name in server.telemetry, f"{name} not registered"
+
+    def test_doc_covers_every_registered_family(self, served):
+        server, _ = served
+        undocumented = set(server.telemetry.names) - set(METRIC_DOC)
+        assert not undocumented, f"registered but undocumented: {sorted(undocumented)}"
+
+
+class TestInstrumentationEquivalence:
+    """Telemetry + block backpressure must not change any result sequence."""
+
+    @pytest.mark.parametrize("n_shards,threaded", ((1, False), (3, False), (3, True)))
+    def test_served_matches_standalone(self, n_shards, threaded):
+        workload = _workload()
+        events = workload.events()
+        registry = _registry(workload)
+        standalone = {}
+        for entry in registry:
+            subscribed = [e for e in events if e.source in entry.sources]
+            report = run_workload(
+                entry.build_plan(), subscribed, entry.query.window.length
+            )
+            standalone[entry.query_id] = report.results.multiset()
+
+        engine = ShardedEngine(_registry(workload), n_shards=n_shards, threaded=threaded)
+        server = StreamServer(engine, capacity=16, policy=OverloadPolicy.BLOCK)
+        for event in events:
+            server.submit(event)
+        server.flush()
+        for query_id, expected in standalone.items():
+            assert server.results_for(query_id).multiset() == expected
+        report = server.report()
+        assert report.shed == 0
+        assert report.delivered == report.ingested == len(events)
+        if threaded:
+            engine.close()

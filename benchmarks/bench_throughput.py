@@ -22,6 +22,11 @@ hot path along the two axes optimized by the high-throughput execution core:
   scaling is visible: the select path's microseconds-per-step grow with the
   domain, the indexed path's must stay flat.  ``--suite sched`` writes its
   numbers to ``BENCH_sched.json``.
+* **Sub-plan sharing** — multi-query common subexpression elimination: the
+  128-query clique workload served with ``share_subplans`` on vs. off,
+  swept across overlap ratios (source counts), with the per-shard
+  steps-per-event work-amplification recorded.  ``--suite share`` writes
+  its numbers to ``BENCH_share.json``.
 * **Serving layer** — the :class:`~repro.serve.StreamServer` front-end:
   instrumentation + bounded-buffer overhead of the ``block`` policy vs. the
   raw engine (must stay result-bit-identical), shedding throughput and exact
@@ -107,6 +112,22 @@ DEFAULT_BOOST_STEPS = (1, 2, 4, 8, 16)
 
 #: Where ``--suite serve`` records its results.
 DEFAULT_SERVE_JSON = Path(__file__).resolve().parent / "BENCH_serve.json"
+
+#: Standing-query population of the sub-plan sharing suite (ISSUE 7
+#: acceptance measures the 128-query clique).
+DEFAULT_SHARE_QUERIES = 128
+
+#: Arrivals driven through each sharing-suite variant.
+DEFAULT_SHARE_EVENTS = 6_000
+
+#: Source counts swept by the sharing suite.  Fewer sources under a fixed
+#: query population means more repeated sub-cliques, i.e. higher overlap:
+#: 128 queries collapse to 8 distinct signatures over 4 sources but stay
+#: almost all distinct over 16.
+DEFAULT_SHARE_SOURCES = (4, 8, 16)
+
+#: Where ``--suite share`` records its results.
+DEFAULT_SHARE_JSON = Path(__file__).resolve().parent / "BENCH_share.json"
 
 
 def _equi_workload(n_events: int, n_sources: int = 2, seed: int = 7):
@@ -342,6 +363,111 @@ def bench_multi_query(
             "threaded_vs_one_shard": sharding[best_threaded_label]["events_per_sec"]
             / one_shard,
             "ok": sharding[best_threaded_label]["events_per_sec"] >= one_shard,
+        },
+    }
+
+
+def bench_share(
+    n_queries: int = DEFAULT_SHARE_QUERIES,
+    n_events: int = DEFAULT_SHARE_EVENTS,
+    source_counts: Tuple[int, ...] = DEFAULT_SHARE_SOURCES,
+    strategy: str = STRATEGY_REF,
+    repeats: int = 2,
+) -> Dict[str, object]:
+    """Common sub-plan sharing on vs. off across overlap ratios.
+
+    ``n_queries`` standing neighborhood queries are served by a 1-shard
+    engine twice — once building every plan privately, once with
+    ``share_subplans=True`` so queries with equal canonical signatures share
+    one hosted join subtree behind a tee (see ``docs/SHARING.md``).  The
+    sweep varies the source count at a fixed query population and a fixed
+    arrival budget: over 4 shared streams the 128-query clique workload has
+    only 8 distinct sub-cliques (16 subscribers per subtree), over 16 it is
+    nearly overlap-free — so the sweep shows the speedup tracking the
+    dedup factor and costing nothing when there is nothing to share.
+
+    One shard keeps both variants in a single scheduler domain, so the
+    ratio isolates sharing rather than placement.  Every shared run must
+    reproduce the unshared per-query result counts exactly, and each
+    variant reports its best-of-``repeats`` throughput.
+    """
+    rate = 1.0
+    sweep: List[Dict[str, object]] = []
+    for n_sources in source_counts:
+        workload = generate_multi_query_workload(
+            n_queries=n_queries,
+            n_sources=n_sources,
+            rate=rate,
+            window_seconds=30.0,
+            dmax=400,
+            duration=max(1.0, n_events / (n_sources * rate)),
+            seed=13,
+        )
+        events = workload.events()
+        registry = _multi_registry(workload, strategy)
+        distinct = len(registry.share_groups())
+        row: Dict[str, object] = {
+            "n_sources": n_sources,
+            "n_events": len(events),
+            "distinct_subplans": distinct,
+            "dedup_factor": n_queries / distinct,
+        }
+        baseline_counts: Optional[Dict[str, int]] = None
+        for label, share in (("unshared", False), ("shared", True)):
+            best_elapsed = float("inf")
+            stats: Dict[str, float] = {}
+            for _ in range(max(1, repeats)):
+                with ShardedEngine(
+                    registry, n_shards=1, keep_results=False, share_subplans=share
+                ) as engine:
+                    start = time.perf_counter()
+                    report = engine.run(events)
+                    elapsed = time.perf_counter() - start
+                    shard = engine.shards[0]
+                    stats = {
+                        "shared_subplans_active": shard.shared_subplans_active,
+                        "shared_subplan_hits": shard.shared_subplan_hits,
+                        "scheduler_steps": shard.cost.count("scheduler_step"),
+                    }
+                counts = report.result_counts()
+                if baseline_counts is None:
+                    baseline_counts = counts
+                assert counts == baseline_counts, (
+                    f"{n_sources} sources/{label} changed the per-query results"
+                )
+                best_elapsed = min(best_elapsed, elapsed)
+            row[label] = {
+                "events_per_sec": len(events) / best_elapsed,
+                "wall_seconds": best_elapsed,
+                "steps_per_event": stats["scheduler_steps"] / max(1, len(events)),
+                **stats,
+            }
+        row["speedup"] = (
+            row["shared"]["events_per_sec"] / row["unshared"]["events_per_sec"]
+        )
+        sweep.append(row)
+    densest = sweep[0]
+    return {
+        "config": {
+            "n_queries": n_queries,
+            "n_events": n_events,
+            "source_counts": list(source_counts),
+            "window_seconds": 30.0,
+            "dmax": 400,
+            "rate": rate,
+            "seed": 13,
+            "strategy": strategy,
+            "repeats": repeats,
+            "n_shards": 1,
+        },
+        "overlap_sweep": sweep,
+        "acceptance": {
+            "n_sources": densest["n_sources"],
+            "dedup_factor": densest["dedup_factor"],
+            "unshared_events_per_sec": densest["unshared"]["events_per_sec"],
+            "shared_events_per_sec": densest["shared"]["events_per_sec"],
+            "speedup": densest["speedup"],
+            "ok": densest["speedup"] >= 3.0,
         },
     }
 
@@ -635,6 +761,30 @@ def _format_sched(table: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def _format_share(table: Dict[str, object]) -> str:
+    config = table["config"]
+    lines = [
+        f"sub-plan sharing ({config['n_queries']} queries, {config['n_events']} "
+        f"events/variant, 1 shard, {config['strategy']})"
+    ]
+    for row in table["overlap_sweep"]:
+        lines.append(
+            f"  {row['n_sources']:>2} sources ({row['distinct_subplans']} distinct "
+            f"subplans, {row['dedup_factor']:.1f}x dedup): shared "
+            f"{row['shared']['events_per_sec']:>8,.0f} ev/s "
+            f"({row['shared']['steps_per_event']:.1f} steps/ev) vs unshared "
+            f"{row['unshared']['events_per_sec']:>8,.0f} ev/s "
+            f"({row['unshared']['steps_per_event']:.1f} steps/ev) "
+            f"-> {row['speedup']:.2f}x"
+        )
+    acceptance = table["acceptance"]
+    lines.append(
+        f"  acceptance @ {acceptance['n_sources']} sources: "
+        f"{acceptance['speedup']:.2f}x ({'OK' if acceptance['ok'] else 'FAIL'})"
+    )
+    return "\n".join(lines)
+
+
 def _format_multi(table: Dict[str, object]) -> str:
     config = table["config"]
     lines = [
@@ -759,6 +909,29 @@ def test_indexed_scheduler_speedup():
     )
 
 
+def test_subplan_sharing_speedup():
+    """Acceptance (ISSUE 7): at high overlap (64 queries over 4 streams,
+    8 distinct sub-cliques) the shared engine must clearly outrun the
+    unshared one while reproducing its per-query results exactly.
+
+    The committed ``BENCH_share.json`` (128 queries, ≥3x required) is the
+    acceptance record; this threshold is looser so the test catches a real
+    regression — sharing silently disabled shows up as a ratio near 1.0 —
+    without flaking on shared-runner noise.
+    """
+    table = bench_share(
+        n_queries=64, n_events=2_500, source_counts=(4,), repeats=2
+    )
+    print()
+    print(_format_share(table))
+    acceptance = table["acceptance"]
+    assert acceptance["dedup_factor"] >= 4.0
+    assert acceptance["speedup"] >= 2.0, (
+        f"expected a clear sharing win at {acceptance['dedup_factor']:.0f}x "
+        f"dedup, got {acceptance['speedup']:.2f}x"
+    )
+
+
 def test_serving_layer_accounting():
     """Acceptance (ISSUE 6): the block-policy server reproduces raw engine
     results exactly, shedding policies account every event, and the
@@ -792,14 +965,15 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("core", "probe", "ready", "multi", "sched", "serve", "all"),
+        choices=("core", "probe", "ready", "multi", "sched", "serve", "share", "all"),
         default="core",
         help="which benchmark family to run: 'core' (default) is the quick "
         "probe + ready-set pair; 'multi' is the sharded multi-query sweep "
         "(records JSON); 'sched' compares indexed vs select scheduling "
         "across domain sizes (records JSON); 'serve' measures the serving "
         "front-end and the jit_aware boost-steps sweep (records JSON); "
-        "'all' runs everything",
+        "'share' compares sub-plan sharing on vs off across overlap ratios "
+        "(records JSON); 'all' runs everything",
     )
     parser.add_argument("--events", type=int, default=DEFAULT_EVENTS)
     parser.add_argument("--queries", type=int, default=DEFAULT_QUERIES)
@@ -864,6 +1038,24 @@ def main(argv: Optional[List[str]] = None) -> None:
         "suite (each must be positive; a FIFO baseline row is always added)",
     )
     parser.add_argument(
+        "--share-queries",
+        type=int,
+        default=DEFAULT_SHARE_QUERIES,
+        help="standing-query population of the sharing suite",
+    )
+    parser.add_argument(
+        "--share-events",
+        type=int,
+        default=DEFAULT_SHARE_EVENTS,
+        help="arrivals per sharing-suite variant",
+    )
+    parser.add_argument(
+        "--share-sources",
+        default=",".join(str(n) for n in DEFAULT_SHARE_SOURCES),
+        help="comma-separated source counts the sharing suite sweeps "
+        "(fewer sources = more overlap at a fixed query population)",
+    )
+    parser.add_argument(
         "--json",
         type=Path,
         default=None,
@@ -907,6 +1099,21 @@ def main(argv: Optional[List[str]] = None) -> None:
         # Only an explicit sched run records, so `all` (whose --json path
         # belongs to the multi suite) never clobbers the committed artifact.
         json_path = (args.json or DEFAULT_SCHED_JSON) if args.suite == "sched" else None
+        if json_path is not None:
+            json_path.write_text(json.dumps(table, indent=2, sort_keys=True) + "\n")
+            print(f"  recorded -> {json_path}")
+    if args.suite in ("share", "all"):
+        table = bench_share(
+            n_queries=args.share_queries,
+            n_events=args.share_events,
+            source_counts=tuple(int(s) for s in args.share_sources.split(",")),
+            strategy=args.multi_strategy,
+            repeats=args.repeats,
+        )
+        print(_format_share(table))
+        # Like multi/sched/serve: only an explicit share run records, so
+        # `all` never clobbers the committed artifact.
+        json_path = (args.json or DEFAULT_SHARE_JSON) if args.suite == "share" else None
         if json_path is not None:
             json_path.write_text(json.dumps(table, indent=2, sort_keys=True) + "\n")
             print(f"  recorded -> {json_path}")

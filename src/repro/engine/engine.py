@@ -375,6 +375,9 @@ class ExecutionEngine:
             scheduler_strategy, ready_strategy
         )
         self.collector = ResultCollector(keep_tuples=keep_results)
+        #: Arrivals processed so far (same meaning as the shard counter, so
+        #: serving telemetry can compute steps-per-event for either engine).
+        self.events_processed = 0
         if not plan.is_attached:
             plan.attach(context)
         plan.set_result_sink(self.collector.add)
@@ -448,6 +451,7 @@ class ExecutionEngine:
     def process_event(self, event: StreamEvent) -> None:
         """Advance the clock and push one arrival into the plan."""
         self.context.clock.advance_to(event.ts)
+        self.events_processed += 1
         if self.mode == ExecutionMode.SYNCHRONOUS:
             self.plan.deliver(event.tuple, event.source)
             return
@@ -473,6 +477,7 @@ class ExecutionEngine:
                     f"process_batch needs same-timestamp events, got {ts} and {event.ts}"
                 )
         self.context.clock.advance_to(ts)
+        self.events_processed += len(events)
         if self.mode == ExecutionMode.SYNCHRONOUS:
             for event in events:
                 self.plan.deliver(event.tuple, event.source)

@@ -43,10 +43,11 @@ from repro.multi.partition import (
     hash_partition,
     resolve_partitioner,
     round_robin_partition,
+    signature_partition,
 )
 from repro.multi.registry import QueryRegistry, RegisteredQuery
 from repro.multi.router import StreamRouter
-from repro.multi.shard import PlanRuntime, ShardEngine
+from repro.multi.shard import PlanRuntime, ShardEngine, SharedSubplan
 from repro.multi.sharded import MultiRunReport, QueryReport, ShardedEngine
 from repro.multi.workload import MultiQueryWorkload, generate_multi_query_workload
 
@@ -58,12 +59,14 @@ __all__ = [
     "StreamRouter",
     "PlanRuntime",
     "ShardEngine",
+    "SharedSubplan",
     "ShardedEngine",
     "MultiRunReport",
     "QueryReport",
     "Partitioner",
     "round_robin_partition",
     "hash_partition",
+    "signature_partition",
     "resolve_partitioner",
     "MultiQueryWorkload",
     "generate_multi_query_workload",

@@ -36,6 +36,7 @@ __all__ = [
     "Partitioner",
     "round_robin_partition",
     "hash_partition",
+    "signature_partition",
     "SourceAffinityPartition",
     "resolve_partitioner",
 ]
@@ -56,6 +57,19 @@ def hash_partition(entry: RegisteredQuery, index: int, n_shards: int) -> int:
     interpreter runs (``PYTHONHASHSEED`` randomizes ``str.__hash__``).
     """
     return zlib.crc32(entry.query_id.encode("utf-8")) % n_shards
+
+
+def signature_partition(entry: RegisteredQuery, index: int, n_shards: int) -> int:
+    """Assign queries by their canonical sub-plan signature.
+
+    Every query of one sharing group lands on the same shard — the
+    precondition for the sharding layer's common-subexpression sharing to
+    actually merge them (``ShardedEngine(share_subplans=True)`` defaults to
+    this policy).  Distinct signatures spread by a stable CRC32 hash, so the
+    balance across shards follows the signature population.
+    """
+    key = repr(entry.subplan_signature()).encode("utf-8")
+    return zlib.crc32(key) % n_shards
 
 
 class SourceAffinityPartition:
@@ -102,6 +116,7 @@ class SourceAffinityPartition:
 _NAMED = {
     "round_robin": round_robin_partition,
     "hash": hash_partition,
+    "signature": signature_partition,
     "affinity": SourceAffinityPartition,
 }
 

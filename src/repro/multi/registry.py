@@ -16,17 +16,25 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set, Union
 
 from repro.core.config import JITConfig
+from repro.operators.base import PORT_INPUT
+from repro.operators.tee import TeeOperator
 from repro.plans.builder import (
     PLAN_LEFT_DEEP,
     STRATEGY_DOE,
     STRATEGY_JIT,
     STRATEGY_REF,
     ShapeNode,
+    build_overlay_plan,
     build_xjoin_plan,
 )
 from repro.plans.cql import parse_cql
 from repro.plans.plan import ExecutionPlan
 from repro.plans.query import ContinuousQuery
+from repro.plans.signature import (
+    SubplanSignature,
+    signature_key,
+    subplan_signature,
+)
 from repro.streams.schema import StreamCatalog
 
 __all__ = ["RegisteredQuery", "QueryRegistry"]
@@ -92,6 +100,70 @@ class RegisteredQuery:
             jit_config=self.jit_config,
             use_hash_index=self.use_hash_index,
         )
+
+    # -- sub-plan sharing -----------------------------------------------------
+
+    def subplan_signature(self) -> SubplanSignature:
+        """The canonical signature of this registration's join subtree.
+
+        Registrations with equal signatures build operationally identical
+        join subtrees and can share one hosted instance (selections and
+        projection stay per-query, see :meth:`build_overlay_plan`).  The
+        signature is computed once and cached on the frozen instance.
+        """
+        cached = self.__dict__.get("_signature")
+        if cached is None:
+            cached = subplan_signature(
+                self.query,
+                shape=self.shape,
+                strategy=self.strategy,
+                jit_config=self.jit_config,
+                use_hash_index=self.use_hash_index,
+            )
+            object.__setattr__(self, "_signature", cached)
+        return cached
+
+    def signature_key(self) -> str:
+        """Short stable hex digest of :meth:`subplan_signature`."""
+        return signature_key(self.subplan_signature())
+
+    def build_join_plan(self) -> ExecutionPlan:
+        """The shareable join subtree alone: no selections, no projection."""
+        return build_xjoin_plan(
+            self.query,
+            shape=self.shape,
+            strategy=self.strategy,
+            jit_config=self.jit_config,
+            use_hash_index=self.use_hash_index,
+            apply_selections=False,
+            apply_projection=False,
+        )
+
+    def build_shared_plan(self) -> ExecutionPlan:
+        """The join subtree crowned with a :class:`TeeOperator` fan-out.
+
+        The tee starts with no subscribers; the hosting shard attaches one
+        per grafted query.  Fresh operators per call, like
+        :meth:`build_plan`.
+        """
+        base = self.build_join_plan()
+        tee = TeeOperator("Tee", sources=base.root.output_sources())
+        tee.connect_producer(PORT_INPUT, base.root)
+        return ExecutionPlan(
+            root=tee,
+            operators=base.operators + (tee,),
+            routing=base.routing,
+            description=f"shared/{base.description}",
+        )
+
+    def build_overlay_plan(self) -> Optional[ExecutionPlan]:
+        """This query's private selections/projection chain (or ``None``)."""
+        return build_overlay_plan(self.query, strategy=self.strategy)
+
+    @property
+    def has_overlay(self) -> bool:
+        """True when the query keeps private operators above a shared subtree."""
+        return bool(self.query.selections or self.query.projection)
 
     def describe(self) -> str:
         """One-line description used by reports and the example scripts."""
@@ -171,6 +243,18 @@ class QueryRegistry:
         for entry in self._entries.values():
             out.update(entry.sources)
         return out
+
+    def share_groups(self) -> Dict[SubplanSignature, List[str]]:
+        """Query ids grouped by canonical sub-plan signature.
+
+        Groups (and the ids within each) are in registration order.  A group
+        with more than one member is a sharing opportunity: its queries build
+        operationally identical join subtrees.
+        """
+        groups: Dict[SubplanSignature, List[str]] = {}
+        for entry in self._entries.values():
+            groups.setdefault(entry.subplan_signature(), []).append(entry.query_id)
+        return groups
 
     def __iter__(self) -> Iterator[RegisteredQuery]:
         return iter(self._entries.values())

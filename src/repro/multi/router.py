@@ -36,6 +36,36 @@ class StreamRouter:
         self.query_subscribers[source] = self.query_subscribers.get(source, 0) + 1
         self._cache.pop(source, None)
 
+    def unsubscribe(
+        self, source: str, shard_id: int, shard_still_subscribed: bool
+    ) -> None:
+        """Undo one query's :meth:`subscribe` of ``source`` on ``shard_id``.
+
+        Called once per source when a hosted query retires, so
+        ``subscriber_count`` (the ``fair_shed`` weight) tracks the live
+        query population.  ``shard_still_subscribed`` says whether the shard
+        still hosts *another* plan consuming ``source``; only when the last
+        one leaves is the shard dropped from the fan-out (and the cached
+        route invalidated) — the per-shard membership is not a counter here
+        because the shard itself knows its live routes.
+        """
+        count = self.query_subscribers.get(source, 0)
+        if count <= 0:
+            raise KeyError(
+                f"no subscription to unsubscribe for source {source!r}"
+            )
+        if count == 1:
+            del self.query_subscribers[source]
+        else:
+            self.query_subscribers[source] = count - 1
+        if not shard_still_subscribed:
+            shards = self._subscriptions.get(source)
+            if shards is not None:
+                shards.discard(shard_id)
+                if not shards:
+                    del self._subscriptions[source]
+            self._cache.pop(source, None)
+
     def subscriber_count(self, source: str) -> int:
         """Number of standing-query subscriptions on ``source`` (0 when none)."""
         return self.query_subscribers.get(source, 0)

@@ -28,13 +28,24 @@ shard's queues are only pushed and popped inside ``process_event`` /
 every ``on_ready`` / ``on_unready`` / ``pop_next`` of a scheduler domain is
 issued by one thread (the ingestion thread only appends to the worker's
 buffer).
+
+With ``share_subplans=True`` the shard adds common-subexpression sharing:
+queries whose registrations reduce to the same canonical sub-plan signature
+(:mod:`repro.plans.signature`) share ONE hosted join subtree, crowned with a
+:class:`~repro.operators.tee.TeeOperator` that fans each shared result out
+to every subscriber — into the input queue of the query's private overlay
+plan (selections/projection) or straight into its collector.  The shared
+subtree is reference counted: ``retire_plan`` detaches one subscriber and
+only tears the subtree down when the last one leaves.  Per-query results
+stay bit-identical to unshared runs (see ``docs/SHARING.md`` for the
+argument and ``tests/test_sharing_equivalence.py`` for the proof).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.context import ExecutionContext
 from repro.engine.engine import (
@@ -51,30 +62,82 @@ from repro.engine.results import ResultCollector
 from repro.metrics import CostModel, MemoryModel, MetricsReport
 from repro.multi.clock import ShardClock
 from repro.multi.registry import RegisteredQuery
+from repro.operators.base import PORT_INPUT
 from repro.operators.queues import InterOperatorQueue
+from repro.operators.tee import TeeOperator
 from repro.plans.plan import ExecutionPlan
+from repro.plans.signature import SubplanSignature
 from repro.scheduler import OperatorScheduler, ReadyInput
 from repro.streams.sources import StreamEvent
 
-__all__ = ["PlanRuntime", "ShardEngine"]
+__all__ = ["PlanRuntime", "SharedSubplan", "ShardEngine"]
+
+
+@dataclass
+class SharedSubplan:
+    """One hosted shared join subtree and its subscriber bookkeeping."""
+
+    signature: SubplanSignature
+    #: Short stable digest of the signature (used in queue names/diagnostics).
+    key: str
+    plan: ExecutionPlan
+    tee: TeeOperator
+    context: ExecutionContext
+    shard_id: int
+    templates: Tuple[ReadyInput, ...] = field(default=(), repr=False)
+    #: Subscribed query ids, in graft order (the reference count).
+    subscribers: List[str] = field(default_factory=list)
+    #: Registrations grafted onto this subtree after it was first hosted.
+    hits: int = 0
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self.subscribers)
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedSubplan({self.key}, shard={self.shard_id}, "
+            f"subscribers={self.subscribers})"
+        )
 
 
 @dataclass
 class PlanRuntime:
-    """One hosted query's live execution state on its shard."""
+    """One hosted query's live execution state on its shard.
+
+    Without sharing, ``plan`` is the query's full dedicated plan.  With
+    sharing, ``plan`` is the query's private overlay (selections/projection)
+    or ``None`` when the query consumes the shared subtree's output
+    directly, and ``shared`` points at the subtree serving it.
+    """
 
     registered: RegisteredQuery
-    plan: ExecutionPlan
+    plan: Optional[ExecutionPlan]
     context: ExecutionContext
     collector: ResultCollector
     shard_id: int
     #: The plan's ReadyInput templates, in registration order — the handle
     #: ``ShardEngine.retire_plan`` uses to unwire queues and scheduler state.
     templates: Tuple[ReadyInput, ...] = field(default=(), repr=False)
+    #: The shared subtree feeding this runtime, when sharing is enabled.
+    shared: Optional[SharedSubplan] = field(default=None, repr=False)
 
     @property
     def query_id(self) -> str:
         return self.registered.query_id
+
+    def set_result_sink(self, sink) -> None:
+        """Install the callable receiving this query's results.
+
+        Routes to the private plan's root when the runtime owns one, else to
+        the shared tee's per-subscriber sink — the one entry point the
+        serving layer needs to instrument results regardless of sharing.
+        """
+        if self.plan is not None:
+            self.plan.set_result_sink(sink)
+        else:
+            assert self.shared is not None
+            self.shared.tee.set_subscriber_sink(self.query_id, sink)
 
     def __repr__(self) -> str:
         return (
@@ -103,6 +166,9 @@ class ShardEngine:
         :class:`~repro.scheduler.SchedulerStrategy` constant (or ``None``
         for the natural pairing with ``ready_strategy``); every hosted
         plan's queues feed the one shard scheduler through it.
+    share_subplans:
+        Enable common-subexpression sharing: queries with equal canonical
+        sub-plan signatures share one hosted join subtree.
     """
 
     def __init__(
@@ -113,6 +179,7 @@ class ShardEngine:
         ready_strategy: str = ReadyStrategy.INCREMENTAL,
         keep_results: bool = True,
         scheduler_strategy: Optional[str] = None,
+        share_subplans: bool = False,
     ) -> None:
         if ready_strategy not in ReadyStrategy.ALL:
             raise ValueError(
@@ -126,10 +193,15 @@ class ShardEngine:
             scheduler_strategy, ready_strategy
         )
         self.keep_results = keep_results
+        self.share_subplans = share_subplans
         self.cost = CostModel()
         self.memory = MemoryModel()
         self.runtimes: List[PlanRuntime] = []
         self.events_processed = 0
+        #: Hosted shared subtrees by canonical signature (insertion order).
+        self._shared: Dict[SubplanSignature, SharedSubplan] = {}
+        #: Registrations that found an existing shared subtree to graft onto.
+        self.shared_subplan_hits = 0
         self._ready_meta: List[ReadyInput] = []
         self._ready_templates: Dict[int, ReadyInput] = {}
         self._ready: Dict[int, ReadyInput] = {}
@@ -142,11 +214,9 @@ class ShardEngine:
 
     # -- hosting -------------------------------------------------------------
 
-    def host(self, registered: RegisteredQuery) -> PlanRuntime:
-        """Build and wire ``registered``'s plan into this shard."""
-        plan = registered.build_plan()
-        context = ExecutionContext(
-            window=registered.query.window,
+    def _make_context(self, window) -> ExecutionContext:
+        return ExecutionContext(
+            window=window,
             clock=self.clock,
             cost=self.cost,
             memory=self.memory,
@@ -154,15 +224,17 @@ class ShardEngine:
             # plans draw identical randomness (Bloom seeds etc.).
             rng=random.Random(0),
         )
-        plan.attach(context)
-        collector = ResultCollector(keep_tuples=self.keep_results)
-        plan.set_result_sink(collector.add)
+
+    def _wire_plan(
+        self, plan: ExecutionPlan, context: ExecutionContext, queue_prefix: str
+    ) -> Tuple[Dict[Tuple[int, str], InterOperatorQueue], List[ReadyInput]]:
+        """Wire one plan's queues into this shard's scheduler domain."""
         queues, templates = wire_queued_plan(
             plan,
             context,
             self._on_queue_readiness,
             order_start=self._next_order,
-            queue_prefix=f"{registered.query_id}:",
+            queue_prefix=queue_prefix,
         )
         if self.scheduler_strategy == SchedulerStrategy.INDEXED:
             install_indexed_listeners(templates, self.scheduler)
@@ -170,10 +242,56 @@ class ShardEngine:
         self._ready_meta.extend(templates)
         for template in templates:
             self._ready_templates[id(template.queue)] = template
+        return queues, templates
+
+    def _register_routes(
+        self,
+        plan: ExecutionPlan,
+        queues: Dict[Tuple[int, str], InterOperatorQueue],
+    ) -> None:
         for source, targets in plan.routing.items():
             route = self._routes.setdefault(source, [])
             for operator, port in targets:
                 route.append(queues[(id(operator), port)])
+
+    def _unwire(self, templates: Iterable[ReadyInput]) -> None:
+        """Drop a retired plan's queues from the ready-set, routes and scheduler."""
+        templates = tuple(templates)
+        retired_queues = {id(t.queue) for t in templates}
+        self._ready_meta = [
+            t for t in self._ready_meta if id(t.queue) not in retired_queues
+        ]
+        for template in templates:
+            template.queue.readiness_listener = None
+            self._ready_templates.pop(id(template.queue), None)
+            self._ready.pop(id(template.queue), None)
+        for source in list(self._routes):
+            kept = [q for q in self._routes[source] if id(q) not in retired_queues]
+            if kept:
+                self._routes[source] = kept
+            else:
+                del self._routes[source]
+        self.scheduler.retire(templates)
+
+    def host(self, registered: RegisteredQuery) -> PlanRuntime:
+        """Build and wire ``registered``'s plan into this shard.
+
+        With ``share_subplans`` enabled, the query is grafted onto an
+        existing shared join subtree when one with the same canonical
+        signature is already hosted; otherwise its subtree becomes the
+        first-hosted instance for that signature.
+        """
+        if self.share_subplans:
+            return self._host_shared(registered)
+        plan = registered.build_plan()
+        context = self._make_context(registered.query.window)
+        plan.attach(context)
+        collector = ResultCollector(keep_tuples=self.keep_results)
+        plan.set_result_sink(collector.add)
+        queues, templates = self._wire_plan(
+            plan, context, queue_prefix=f"{registered.query_id}:"
+        )
+        self._register_routes(plan, queues)
         context.add_feedback_listener(self.scheduler.notify_feedback)
         runtime = PlanRuntime(
             registered=registered,
@@ -182,6 +300,69 @@ class ShardEngine:
             collector=collector,
             shard_id=self.shard_id,
             templates=tuple(templates),
+        )
+        self.runtimes.append(runtime)
+        return runtime
+
+    def _host_shared(self, registered: RegisteredQuery) -> PlanRuntime:
+        signature = registered.subplan_signature()
+        shared = self._shared.get(signature)
+        if shared is None:
+            plan = registered.build_shared_plan()
+            context = self._make_context(registered.query.window)
+            plan.attach(context)
+            key = registered.signature_key()
+            queues, templates = self._wire_plan(
+                plan, context, queue_prefix=f"shared-{key}:"
+            )
+            self._register_routes(plan, queues)
+            # One listener for the whole subtree: a shared operator's
+            # jit_aware boosts and MNS suspensions act once on behalf of
+            # every subscriber, not once per grafted query.
+            context.add_feedback_listener(self.scheduler.notify_feedback)
+            assert isinstance(plan.root, TeeOperator)
+            shared = SharedSubplan(
+                signature=signature,
+                key=key,
+                plan=plan,
+                tee=plan.root,
+                context=context,
+                shard_id=self.shard_id,
+                templates=tuple(templates),
+            )
+            self._shared[signature] = shared
+        else:
+            shared.hits += 1
+            self.shared_subplan_hits += 1
+        context = self._make_context(registered.query.window)
+        collector = ResultCollector(keep_tuples=self.keep_results)
+        overlay = registered.build_overlay_plan()
+        overlay_templates: Tuple[ReadyInput, ...] = ()
+        if overlay is not None:
+            overlay.attach(context)
+            overlay.set_result_sink(collector.add)
+            # Overlay plans have an empty routing table: their single
+            # external input is the tee delivery into the bottom operator.
+            queues, templates = self._wire_plan(
+                overlay, context, queue_prefix=f"{registered.query_id}:"
+            )
+            bottom = overlay.operators[0]
+            shared.tee.add_subscriber(
+                registered.query_id, queue=queues[(id(bottom), PORT_INPUT)]
+            )
+            context.add_feedback_listener(self.scheduler.notify_feedback)
+            overlay_templates = tuple(templates)
+        else:
+            shared.tee.add_subscriber(registered.query_id, sink=collector.add)
+        shared.subscribers.append(registered.query_id)
+        runtime = PlanRuntime(
+            registered=registered,
+            plan=overlay,
+            context=context,
+            collector=collector,
+            shard_id=self.shard_id,
+            templates=overlay_templates,
+            shared=shared,
         )
         self.runtimes.append(runtime)
         return runtime
@@ -197,6 +378,11 @@ class ShardEngine:
         OperatorScheduler.retire` drops every per-identity record, so
         long-lived domains do not accumulate state across plan churn.
 
+        A query served by a shared subtree only detaches its tee
+        subscription and private overlay; the subtree itself is reference
+        counted and torn down (queues, routes, scheduler state, feedback
+        listener) when its *last* subscriber retires.
+
         Like every other mutation of a shard, this must run on the thread
         that drives the shard: in the thread-per-shard mode go through
         :meth:`~repro.multi.sharded.ShardedEngine.retire_query`, which
@@ -210,28 +396,28 @@ class ShardEngine:
                 f"shard {self.shard_id} hosts no query {query_id!r}; "
                 f"hosted: {[r.query_id for r in self.runtimes]}"
             )
+        shared = runtime.shared
+        last_subscriber = shared is not None and shared.subscribers == [query_id]
         pending = [t.queue.name for t in runtime.templates if len(t.queue)]
+        if last_subscriber:
+            pending += [t.queue.name for t in shared.templates if len(t.queue)]
         if pending:
             raise RuntimeError(
                 f"cannot retire {query_id!r} with queued tuples in {pending}; "
                 "drain the shard first"
             )
         self.runtimes.remove(runtime)
-        retired_queues = {id(t.queue) for t in runtime.templates}
-        self._ready_meta = [
-            t for t in self._ready_meta if id(t.queue) not in retired_queues
-        ]
-        for template in runtime.templates:
-            template.queue.readiness_listener = None
-            self._ready_templates.pop(id(template.queue), None)
-            self._ready.pop(id(template.queue), None)
-        for source in list(self._routes):
-            kept = [q for q in self._routes[source] if id(q) not in retired_queues]
-            if kept:
-                self._routes[source] = kept
-            else:
-                del self._routes[source]
-        self.scheduler.retire(runtime.templates)
+        if runtime.templates:
+            self._unwire(runtime.templates)
+        if shared is not None:
+            shared.tee.remove_subscriber(query_id)
+            shared.subscribers.remove(query_id)
+            if not shared.subscribers:
+                self._unwire(shared.templates)
+                shared.context.remove_feedback_listener(
+                    self.scheduler.notify_feedback
+                )
+                del self._shared[shared.signature]
         # The archived context must stop feeding this shard's scheduler:
         # a replayed/migrated runtime would otherwise boost operators of a
         # domain it no longer belongs to (id-reuse aliasing included).
@@ -242,6 +428,21 @@ class ShardEngine:
     def sources(self) -> Tuple[str, ...]:
         """Sorted source names consumed by at least one hosted plan."""
         return tuple(sorted(self._routes))
+
+    def consumes(self, source: str) -> bool:
+        """True while at least one hosted (sub-)plan still routes ``source``."""
+        return source in self._routes
+
+    # -- shared-subtree introspection ----------------------------------------
+
+    @property
+    def shared_subplans_active(self) -> int:
+        """Number of shared join subtrees currently hosted on this shard."""
+        return len(self._shared)
+
+    def shared_subplans(self) -> List[SharedSubplan]:
+        """The hosted shared subtrees, in first-host order."""
+        return list(self._shared.values())
 
     @property
     def queue_count(self) -> int:

@@ -217,7 +217,13 @@ class ShardedEngine:
         Opt into the thread-per-shard drain mode.
     partitioner:
         Query placement policy (callable or name, see
-        :mod:`repro.multi.partition`).
+        :mod:`repro.multi.partition`).  With ``share_subplans`` and no
+        explicit partitioner, placement defaults to ``"signature"`` so
+        queries that can share a subtree land on the same shard.
+    share_subplans:
+        Enable common-subexpression sharing on every shard: queries with
+        equal canonical sub-plan signatures share one hosted join subtree
+        (per-query results stay bit-identical; see ``docs/SHARING.md``).
     """
 
     def __init__(
@@ -230,6 +236,7 @@ class ShardedEngine:
         keep_results: bool = True,
         threaded: bool = False,
         partitioner=None,
+        share_subplans: bool = False,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"need at least one shard, got {n_shards}")
@@ -238,6 +245,7 @@ class ShardedEngine:
         self.registry = registry
         self.n_shards = n_shards
         self.threaded = threaded
+        self.share_subplans = share_subplans
         self.clock = SharedVirtualClock()
         self.router = StreamRouter()
         self.shards: List[ShardEngine] = [
@@ -248,21 +256,21 @@ class ShardedEngine:
                 ready_strategy=ready_strategy,
                 scheduler_strategy=scheduler_strategy,
                 keep_results=keep_results,
+                share_subplans=share_subplans,
             )
             for index in range(n_shards)
         ]
-        place = resolve_partitioner(partitioner)
+        if partitioner is None and share_subplans:
+            # Same-signature queries can only share when co-located.
+            partitioner = "signature"
+        self._place = resolve_partitioner(partitioner)
+        #: Queries placed so far — the registration index handed to the
+        #: partitioner, continued by :meth:`add_query` so stateful policies
+        #: (affinity) never reset mid-lifetime.
+        self._placed = 0
         self._runtimes: Dict[str, PlanRuntime] = {}
-        for index, entry in enumerate(registry):
-            shard_id = place(entry, index, n_shards)
-            if not 0 <= shard_id < n_shards:
-                raise ValueError(
-                    f"partitioner placed {entry.query_id!r} on shard {shard_id}, "
-                    f"outside [0, {n_shards})"
-                )
-            self._runtimes[entry.query_id] = self.shards[shard_id].host(entry)
-            for source in entry.sources:
-                self.router.subscribe(source, shard_id)
+        for entry in registry:
+            self._host_entry(entry)
         self.events_ingested = 0
         self._pending: List[StreamEvent] = []
         self._pending_ts: Optional[float] = None
@@ -279,6 +287,21 @@ class ShardedEngine:
             self._workers = [_ShardWorker(shard) for shard in self.shards]
             for worker in self._workers:
                 worker.start()
+
+    def _host_entry(self, entry) -> PlanRuntime:
+        """Place, host and route one registration (shared by init/add_query)."""
+        shard_id = self._place(entry, self._placed, self.n_shards)
+        if not 0 <= shard_id < self.n_shards:
+            raise ValueError(
+                f"partitioner placed {entry.query_id!r} on shard {shard_id}, "
+                f"outside [0, {self.n_shards})"
+            )
+        self._placed += 1
+        runtime = self.shards[shard_id].host(entry)
+        self._runtimes[entry.query_id] = runtime
+        for source in entry.sources:
+            self.router.subscribe(source, shard_id)
+        return runtime
 
     @staticmethod
     def _make_scheduler(scheduler) -> OperatorScheduler:
@@ -416,6 +439,23 @@ class ShardedEngine:
 
     # -- lifecycle of hosted queries ------------------------------------------
 
+    def add_query(self, entry) -> PlanRuntime:
+        """Host one more registered query on a live engine.
+
+        The entry must already be registered (``registry.register`` returns
+        it); buffered ingestion is flushed first so the new query starts
+        observing the stream from a deterministic point.  With sharing
+        enabled, the query grafts onto an existing subtree when its
+        signature matches one already hosted on its shard.
+        """
+        self._check_open()
+        if entry.query_id in self._runtimes:
+            raise ValueError(f"query {entry.query_id!r} is already hosted")
+        self._flush_pending()
+        for worker in self._workers:
+            worker.wait_idle()
+        return self._host_entry(entry)
+
     def retire_query(self, query_id: str) -> PlanRuntime:
         """Stop serving one registered query and return its archived runtime.
 
@@ -423,17 +463,27 @@ class ShardedEngine:
         the owning shard's worker is parked at its idle barrier before the
         plan is unwired, so the retirement never races the drain loop
         (shard state, including the scheduler, is only ever touched by one
-        thread at a time).  Later events for sources only this query
-        consumed are still routed to the shard and ignored there; the
-        query's results-so-far stay readable on the returned runtime.
+        thread at a time).  The router's subscription bookkeeping is
+        decremented too, so ``fair_shed`` weights and per-shard fan-out
+        track the live query population; events for sources no hosted query
+        consumes any more are counted as dropped instead of being routed to
+        a shard that would ignore them.  The query's results-so-far stay
+        readable on the returned runtime.
         """
         self._check_open()
         runtime = self.runtime_for(query_id)
         self._flush_pending()
         if self._workers:
             self._workers[runtime.shard_id].wait_idle()
-        retired = self.shards[runtime.shard_id].retire_plan(query_id)
+        shard = self.shards[runtime.shard_id]
+        retired = shard.retire_plan(query_id)
         del self._runtimes[query_id]
+        for source in retired.registered.sources:
+            self.router.unsubscribe(
+                source,
+                runtime.shard_id,
+                shard_still_subscribed=shard.consumes(source),
+            )
         return retired
 
     # -- results and reporting ------------------------------------------------

@@ -38,6 +38,7 @@ from repro.operators.queues import InterOperatorQueue
 from repro.operators.selection import SelectionOperator
 from repro.operators.projection import ProjectionOperator
 from repro.operators.static_join import StaticJoinOperator
+from repro.operators.tee import TeeOperator, TeeSubscriber
 from repro.operators.aggregate import AggregateFunction, WindowAggregateOperator
 from repro.operators.state import OperatorState, StateEntry
 
@@ -62,6 +63,8 @@ __all__ = [
     "SelectionOperator",
     "ProjectionOperator",
     "StaticJoinOperator",
+    "TeeOperator",
+    "TeeSubscriber",
     "AggregateFunction",
     "WindowAggregateOperator",
     "OperatorState",

@@ -9,6 +9,8 @@
   and Eddy plans (Figure 2).
 * :mod:`repro.plans.cql` -- a small CQL-style front end for queries of the
   form shown in Figure 1a.
+* :mod:`repro.plans.signature` -- canonical sub-plan signatures used by the
+  multi-query sharing layer to detect common join subtrees.
 """
 
 from repro.plans.query import ContinuousQuery
@@ -19,10 +21,12 @@ from repro.plans.builder import (
     PLAN_RIGHT_DEEP,
     build_eddy_plan,
     build_mjoin_plan,
+    build_overlay_plan,
     build_xjoin_plan,
     paper_plan_shape,
 )
 from repro.plans.cql import parse_cql
+from repro.plans.signature import signature_key, subplan_signature
 
 __all__ = [
     "ContinuousQuery",
@@ -31,8 +35,11 @@ __all__ = [
     "PLAN_LEFT_DEEP",
     "PLAN_RIGHT_DEEP",
     "build_xjoin_plan",
+    "build_overlay_plan",
     "build_mjoin_plan",
     "build_eddy_plan",
     "paper_plan_shape",
     "parse_cql",
+    "subplan_signature",
+    "signature_key",
 ]

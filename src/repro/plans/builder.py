@@ -40,6 +40,7 @@ __all__ = [
     "STRATEGY_DOE",
     "paper_plan_shape",
     "build_xjoin_plan",
+    "build_overlay_plan",
     "build_mjoin_plan",
     "build_eddy_plan",
 ]
@@ -245,6 +246,52 @@ def build_xjoin_plan(
         operators=tuple(operators),
         routing={src: tuple(targets) for src, targets in routing.items()},
         description=f"xjoin/{shape_label}/{strategy}/N={query.n_sources}",
+    )
+
+
+def build_overlay_plan(
+    query: ContinuousQuery,
+    strategy: str = STRATEGY_REF,
+) -> Optional[ExecutionPlan]:
+    """Build the per-query operators that sit *above* a shared join subtree.
+
+    The sharing layer (:mod:`repro.multi.shard`) executes the join subtree of
+    a signature group once and keeps each subscriber's selections and
+    projection private; this builds exactly that private chain — the same
+    ``Sel1..SelK`` / ``Project`` operators, in the same order, as
+    :func:`build_xjoin_plan` would stack on a dedicated join tree — as a
+    standalone plan with an empty routing table (its input arrives from the
+    shared tee, not from raw sources).  Returns ``None`` when the query has
+    neither selections nor projection: such subscribers take the shared
+    output directly.
+    """
+    operators: List[Operator] = []
+    top: Optional[Operator] = None
+    covered = frozenset(query.sources)
+    for index, selection in enumerate(query.selections, start=1):
+        sel = SelectionOperator(
+            f"Sel{index}",
+            selection,
+            sources=covered,
+            jit_feedback=strategy != STRATEGY_REF,
+        )
+        if top is not None:
+            sel.connect_producer(PORT_INPUT, top)
+        operators.append(sel)
+        top = sel
+    if query.projection:
+        proj = ProjectionOperator("Project", query.projection)
+        if top is not None:
+            proj.connect_producer(PORT_INPUT, top)
+        operators.append(proj)
+        top = proj
+    if top is None:
+        return None
+    return ExecutionPlan(
+        root=top,
+        operators=tuple(operators),
+        routing={},
+        description=f"overlay/{strategy}/N={query.n_sources}",
     )
 
 

@@ -119,6 +119,19 @@ METRIC_DOC: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
     "serve_scheduler_boosted_servings_total": (
         "gauge", ("shard",), "Scheduling decisions served from the boosted band, per shard."
     ),
+    "serve_shared_subplans_active": (
+        "gauge", ("shard",),
+        "Shared join sub-plans currently hosted, per shard (0 without sharing).",
+    ),
+    "serve_shared_subplan_hits_total": (
+        "gauge", ("shard",),
+        "Query registrations grafted onto an already-hosted shared sub-plan, per shard.",
+    ),
+    "serve_shard_steps_per_event": (
+        "gauge", ("shard",),
+        "Scheduler steps per processed event, per shard — the work-amplification "
+        "ratio sub-plan sharing drives down.",
+    ),
     "serve_uptime_seconds": (
         "gauge", (), "Wall-clock seconds since the server was constructed."
     ),
@@ -236,20 +249,37 @@ class StreamServer:
         return router.subscriber_count
 
     def _runtime_sinks(self) -> Iterable[Tuple[object, object]]:
-        """Yield ``(plan, collector)`` for every hosted query."""
+        """Yield ``(sink_host, collector)`` for every hosted query.
+
+        The host is whatever exposes ``set_result_sink`` for that query: the
+        per-query :class:`~repro.multi.shard.PlanRuntime` (which routes to
+        its private plan or its shared-tee subscription) for sharded
+        engines, or the plan itself for a single-plan engine.
+        """
         runtimes = getattr(self.engine, "_runtimes", None)
         if runtimes is not None:
             for runtime in runtimes.values():
-                yield runtime.plan, runtime.collector
+                yield runtime, runtime.collector
         else:
             yield self.engine.plan, self.engine.collector
 
     def _feedback_contexts(self) -> Iterable[Tuple[str, object]]:
-        """Yield ``(shard_label, context)`` for every hosted plan context."""
+        """Yield ``(shard_label, context)`` for every hosted plan context.
+
+        Shared sub-plan contexts are included once per subtree — their
+        feedback acts on behalf of every subscriber, so counting it once
+        matches the execution semantics (and avoids double-counting).
+        """
         runtimes = getattr(self.engine, "_runtimes", None)
         if runtimes is not None:
             for runtime in runtimes.values():
                 yield str(runtime.shard_id), runtime.context
+            for shard in self._shards:
+                shared_subplans = getattr(shard, "shared_subplans", None)
+                if shared_subplans is None:
+                    continue
+                for shared in shared_subplans():
+                    yield str(shard.shard_id), shared.context
         else:
             yield "0", self.engine.context
 
@@ -348,6 +378,34 @@ class StreamServer:
             callback=lambda: self._scheduler_stat("boosted_servings"),
         )
         registry.gauge(
+            "serve_shared_subplans_active",
+            METRIC_DOC["serve_shared_subplans_active"][2],
+            ("shard",),
+            callback=lambda: {
+                str(index): float(getattr(shard, "shared_subplans_active", 0))
+                for index, shard in enumerate(self._shards)
+            },
+        )
+        registry.gauge(
+            "serve_shared_subplan_hits_total",
+            METRIC_DOC["serve_shared_subplan_hits_total"][2],
+            ("shard",),
+            callback=lambda: {
+                str(index): float(getattr(shard, "shared_subplan_hits", 0))
+                for index, shard in enumerate(self._shards)
+            },
+        )
+        registry.gauge(
+            "serve_shard_steps_per_event",
+            METRIC_DOC["serve_shard_steps_per_event"][2],
+            ("shard",),
+            callback=lambda: {
+                str(index): self._shard_cost(shard).count("scheduler_step")
+                / max(1, getattr(shard, "events_processed", 0))
+                for index, shard in enumerate(self._shards)
+            },
+        )
+        registry.gauge(
             "serve_uptime_seconds",
             METRIC_DOC["serve_uptime_seconds"][2],
             callback=lambda: self.uptime_seconds,
@@ -373,8 +431,8 @@ class StreamServer:
         state (sequences, ordering checks) is bit-identical to an
         uninstrumented run; the wrapper only *observes*.
         """
-        for plan, collector in self._runtime_sinks():
-            plan.set_result_sink(self._make_sink(collector.add))
+        for host, collector in self._runtime_sinks():
+            host.set_result_sink(self._make_sink(collector.add))
 
     def _make_sink(self, inner_add):
         observe = self.latency.observe

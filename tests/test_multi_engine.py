@@ -246,6 +246,32 @@ class TestRouterAndPartition:
         router.subscribe("A", 3)  # cache invalidation
         assert router.shards_for("A") == (0, 1, 2, 3)
 
+    def test_retire_query_decrements_router_subscriptions(self, shared_workload):
+        """Regression: retiring a query used to leave the router's
+        ``subscriber_count`` (and hence fair-shed weights and shard fan-out)
+        stuck at registration-time values forever."""
+        registry = _registry(shared_workload)
+        with ShardedEngine(registry, n_shards=2) as engine:
+            router = engine.router
+            before = {s: router.subscriber_count(s) for s in router.sources}
+            retired = engine.retire_query("q0")
+            for source in retired.registered.sources:
+                assert router.subscriber_count(source) == before[source] - 1
+            for query_id in registry.ids[1:]:
+                engine.retire_query(query_id)
+            assert router.sources == []
+            assert all(router.subscriber_count(s) == 0 for s in before)
+            assert router.shards_for(next(iter(before))) == ()
+
+    def test_unsubscribe_unknown_source_rejected(self):
+        router = StreamRouter()
+        router.subscribe("A", 0)
+        with pytest.raises(KeyError, match="no subscription"):
+            router.unsubscribe("Z", 0, shard_still_subscribed=False)
+        router.unsubscribe("A", 0, shard_still_subscribed=False)
+        with pytest.raises(KeyError, match="no subscription"):
+            router.unsubscribe("A", 0, shard_still_subscribed=False)
+
     def test_round_robin_spreads_evenly(self, shared_workload):
         registry = _registry(shared_workload)
         with ShardedEngine(registry, n_shards=4) as engine:

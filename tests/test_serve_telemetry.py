@@ -238,6 +238,9 @@ class TestDocumentedMetricsExist:
             "serve_scheduler_steps_total": (1, float("inf")),
             "serve_scheduler_boosts_granted_total": (0, float("inf")),
             "serve_scheduler_boosted_servings_total": (0, float("inf")),
+            "serve_shared_subplans_active": (0, 0),  # sharing off in fixture
+            "serve_shared_subplan_hits_total": (0, 0),
+            "serve_shard_steps_per_event": (0.000001, float("inf")),
             "serve_uptime_seconds": (0.0, float("inf")),
         }
         for name, (low, high) in checks.items():
@@ -280,6 +283,49 @@ class TestDocumentedMetricsExist:
         total_resume = sum(parsed["serve_resumptions_total"].values())
         assert total_suspend >= 1
         assert 0 <= total_resume <= total_suspend
+
+    def test_sharing_metrics_engage_with_shared_engine(self):
+        """With ``share_subplans=True`` the sharing gauges go live: subtrees
+        are active, hits count the grafted registrations, and the per-shard
+        steps-per-event ratio stays below the unshared run's."""
+        workload = _workload()
+        distinct = len({e.subplan_signature() for e in _registry(workload)})
+
+        def overlapping_registry():
+            # Four copies of each query: enough dedup that the shared run's
+            # steps-per-event drops despite the added tee-drain steps.
+            registry = _registry(workload)
+            for copy in range(3):
+                for index, query in enumerate(workload.queries()):
+                    registry.register(
+                        query,
+                        query_id=f"dup{copy}_{index}",
+                        strategy=STRATEGY_JIT if index % 2 else STRATEGY_REF,
+                    )
+            return registry
+
+        ratios = {}
+        for share in (False, True):
+            engine = ShardedEngine(
+                overlapping_registry(), n_shards=1, scheduler="jit_aware",
+                share_subplans=share,
+            )
+            server = StreamServer(engine, capacity=32, policy=OverloadPolicy.BLOCK)
+            for event in workload.events():
+                server.submit(event)
+            server.flush()
+            parsed = parse_exposition(server.exposition())
+            active = sum(parsed["serve_shared_subplans_active"].values())
+            hits = sum(parsed["serve_shared_subplan_hits_total"].values())
+            if share:
+                # Four copies per query collapse onto the distinct subtrees.
+                assert active == distinct
+                assert hits == 24 - distinct
+            else:
+                assert active == 0 and hits == 0
+            ratios[share] = sum(parsed["serve_shard_steps_per_event"].values())
+            server.close()
+        assert 0 < ratios[True] < ratios[False]
 
     def test_every_documented_family_registered(self, served):
         server, _ = served

@@ -27,6 +27,12 @@ hot path along the two axes optimized by the high-throughput execution core:
   swept across overlap ratios (source counts), with the per-shard
   steps-per-event work-amplification recorded.  ``--suite share`` writes
   its numbers to ``BENCH_share.json``.
+* **Flight recorder** — the :class:`~repro.trace.Tracer`'s overhead on the
+  shared multi-query path: no tracer vs. an attached-but-disabled tracer
+  (must cost ≤2% events/sec) vs. head-based sampling at 0/10/100 percent.
+  ``--suite trace`` writes its numbers to ``BENCH_trace.json``; the
+  separate ``--trace`` / ``--trace-out`` flags export a schema-validated,
+  Perfetto-loadable Chrome trace of the same workload.
 * **Serving layer** — the :class:`~repro.serve.StreamServer` front-end:
   instrumentation + bounded-buffer overhead of the ``block`` policy vs. the
   raw engine (must stay result-bit-identical), shedding throughput and exact
@@ -128,6 +134,18 @@ DEFAULT_SHARE_SOURCES = (4, 8, 16)
 
 #: Where ``--suite share`` records its results.
 DEFAULT_SHARE_JSON = Path(__file__).resolve().parent / "BENCH_share.json"
+
+#: Standing-query population of the tracer-overhead suite.
+DEFAULT_TRACE_QUERIES = 64
+
+#: Arrivals driven through each tracer-overhead variant.
+DEFAULT_TRACE_EVENTS = 4_000
+
+#: Where ``--suite trace`` records its results.
+DEFAULT_TRACE_JSON = Path(__file__).resolve().parent / "BENCH_trace.json"
+
+#: Where ``--trace`` writes its Chrome trace when ``--trace-out`` is omitted.
+DEFAULT_TRACE_OUT = Path(__file__).resolve().parent / "trace_multi.json"
 
 
 def _equi_workload(n_events: int, n_sources: int = 2, seed: int = 7):
@@ -726,6 +744,183 @@ def bench_serve(
     }
 
 
+def bench_trace(
+    n_queries: int = DEFAULT_TRACE_QUERIES,
+    n_events: int = DEFAULT_TRACE_EVENTS,
+    repeats: int = 3,
+    capacity: int = 65_536,
+) -> Dict[str, object]:
+    """Tracer overhead on the multi-query serving path.
+
+    The same 1-shard shared jit_aware run (the configuration where the
+    tracer instruments every layer: scheduler pops, operator steps, tee
+    fan-out, MNS pairing) is measured with no tracer at all, with a tracer
+    attached but *disabled*, and with head-based sampling at 0, 10 and 100
+    percent.  The acceptance bound — a fully disabled tracer costs at most
+    2% events/sec versus no tracer (one attribute load and one branch per
+    hook site) — is recorded in ``BENCH_trace.json``; repeats are
+    interleaved and best-of so a noisy stretch cannot skew one variant.
+    Every variant must reproduce the untraced per-query result counts
+    exactly (tracing is observation only).
+    """
+    from repro.trace import Tracer
+
+    n_sources = 4
+    workload = generate_multi_query_workload(
+        n_queries=n_queries,
+        n_sources=n_sources,
+        rate=1.0,
+        window_seconds=30.0,
+        dmax=400,
+        duration=max(1.0, n_events / n_sources),
+        seed=13,
+    )
+    events = workload.events()
+    registry = _multi_registry(workload, STRATEGY_JIT)
+
+    variants: List[Tuple[str, object]] = [
+        ("untraced", None),
+        ("disabled", lambda: Tracer(enabled=False)),
+        ("rate_0.0", lambda: Tracer(sample_rate=0.0, capacity=capacity, seed=0)),
+        ("rate_0.1", lambda: Tracer(sample_rate=0.1, capacity=capacity, seed=0)),
+        ("rate_1.0", lambda: Tracer(sample_rate=1.0, capacity=capacity, seed=0)),
+    ]
+    best: Dict[str, float] = {}
+    tracer_stats: Dict[str, Dict[str, float]] = {}
+    baseline_counts: Optional[Dict[str, int]] = None
+    for _ in range(max(1, repeats)):
+        for label, factory in variants:
+            with ShardedEngine(
+                registry,
+                n_shards=1,
+                scheduler="jit_aware",
+                share_subplans=True,
+                keep_results=False,
+            ) as engine:
+                tracer = factory() if factory is not None else None
+                if tracer is not None:
+                    engine.attach_tracer(tracer)
+                start = time.perf_counter()
+                report = engine.run(events)
+                elapsed = time.perf_counter() - start
+            counts = report.result_counts()
+            if baseline_counts is None:
+                baseline_counts = counts
+            assert counts == baseline_counts, (
+                f"trace/{label} changed the per-query results"
+            )
+            best[label] = min(best.get(label, float("inf")), elapsed)
+            if tracer is not None:
+                tracer_stats[label] = tracer.stats()
+
+    rows: Dict[str, Dict[str, float]] = {}
+    untraced = len(events) / best["untraced"]
+    for label, _factory in variants:
+        rows[label] = {
+            "events_per_sec": len(events) / best[label],
+            "wall_seconds": best[label],
+            "throughput_vs_untraced": (len(events) / best[label]) / untraced,
+            **tracer_stats.get(label, {}),
+        }
+    disabled_ratio = rows["disabled"]["throughput_vs_untraced"]
+    assert baseline_counts is not None
+    return {
+        "config": {
+            "n_queries": n_queries,
+            "n_sources": n_sources,
+            "n_events": len(events),
+            "window_seconds": 30.0,
+            "dmax": 400,
+            "seed": 13,
+            "strategy": STRATEGY_JIT,
+            "scheduler": "jit_aware",
+            "share_subplans": True,
+            "n_shards": 1,
+            "ring_capacity": capacity,
+            "repeats": repeats,
+        },
+        "total_results": sum(baseline_counts.values()),
+        "variants": rows,
+        "acceptance": {
+            "disabled_vs_untraced": disabled_ratio,
+            "max_allowed_overhead": 0.02,
+            "ok": disabled_ratio >= 0.98,
+        },
+    }
+
+
+def record_trace(
+    out_path: Path,
+    n_queries: int = DEFAULT_TRACE_QUERIES,
+    n_events: int = DEFAULT_TRACE_EVENTS,
+    sample_rate: float = 1.0,
+) -> Path:
+    """Run the shared multi-query workload traced and export a Chrome trace.
+
+    The written JSON is schema-validated and loadable in Perfetto / Chrome
+    ``about:tracing`` (see ``docs/TRACING.md``).
+    """
+    from repro.trace import Tracer, validate_chrome_trace
+
+    n_sources = 4
+    workload = generate_multi_query_workload(
+        n_queries=n_queries,
+        n_sources=n_sources,
+        rate=1.0,
+        window_seconds=30.0,
+        dmax=400,
+        duration=max(1.0, n_events / n_sources),
+        seed=13,
+    )
+    events = workload.events()
+    registry = _multi_registry(workload, STRATEGY_JIT)
+    tracer = Tracer(sample_rate=sample_rate, capacity=1_048_576, seed=0)
+    with ShardedEngine(
+        registry,
+        n_shards=1,
+        scheduler="jit_aware",
+        share_subplans=True,
+        keep_results=False,
+    ) as engine:
+        engine.attach_tracer(tracer)
+        engine.run(events)
+    validate_chrome_trace(tracer.chrome_trace())
+    tracer.write_chrome_trace(out_path)
+    stats = tracer.stats()
+    print(
+        f"trace: {stats['traces_sampled']:.0f}/{stats['traces_started']:.0f} traces "
+        f"sampled (rate={sample_rate:g}), {stats['spans_recorded']:.0f} spans "
+        f"({stats['spans_dropped']:.0f} dropped), mns paired={stats['mns_pairs_closed']:.0f} "
+        f"-> {out_path}"
+    )
+    return out_path
+
+
+def _format_trace(table: Dict[str, object]) -> str:
+    config = table["config"]
+    lines = [
+        f"tracer overhead ({config['n_queries']} queries, {config['n_events']} "
+        f"events/variant, 1 shard, shared, jit_aware)"
+    ]
+    for label, row in table["variants"].items():
+        extra = ""
+        if "spans_recorded" in row:
+            extra = (
+                f"  spans={row['spans_recorded']:,.0f} "
+                f"dropped={row['spans_dropped']:,.0f}"
+            )
+        lines.append(
+            f"  {label:<10} {row['events_per_sec']:>10,.0f} ev/s "
+            f"({row['throughput_vs_untraced']:.3f}x of untraced){extra}"
+        )
+    acceptance = table["acceptance"]
+    lines.append(
+        f"  acceptance: disabled tracer at {acceptance['disabled_vs_untraced']:.3f}x "
+        f"of untraced (>=0.98 required) ({'OK' if acceptance['ok'] else 'FAIL'})"
+    )
+    return "\n".join(lines)
+
+
 def _format_serve(table: Dict[str, object]) -> str:
     config = table["config"]
     lines = [
@@ -965,7 +1160,7 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("core", "probe", "ready", "multi", "sched", "serve", "share", "all"),
+        choices=("core", "probe", "ready", "multi", "sched", "serve", "share", "trace", "all"),
         default="core",
         help="which benchmark family to run: 'core' (default) is the quick "
         "probe + ready-set pair; 'multi' is the sharded multi-query sweep "
@@ -973,7 +1168,8 @@ def main(argv: Optional[List[str]] = None) -> None:
         "across domain sizes (records JSON); 'serve' measures the serving "
         "front-end and the jit_aware boost-steps sweep (records JSON); "
         "'share' compares sub-plan sharing on vs off across overlap ratios "
-        "(records JSON); 'all' runs everything",
+        "(records JSON); 'trace' measures the flight recorder's overhead "
+        "at every sampling rate (records JSON); 'all' runs everything",
     )
     parser.add_argument("--events", type=int, default=DEFAULT_EVENTS)
     parser.add_argument("--queries", type=int, default=DEFAULT_QUERIES)
@@ -1056,6 +1252,32 @@ def main(argv: Optional[List[str]] = None) -> None:
         "(fewer sources = more overlap at a fixed query population)",
     )
     parser.add_argument(
+        "--trace-queries",
+        type=int,
+        default=DEFAULT_TRACE_QUERIES,
+        help="standing-query population of the tracer-overhead suite and --trace",
+    )
+    parser.add_argument(
+        "--trace-events",
+        type=int,
+        default=DEFAULT_TRACE_EVENTS,
+        help="arrivals per tracer-overhead variant (and for --trace)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="additionally run the shared multi-query workload with the "
+        "flight recorder attached and export a Perfetto-loadable Chrome "
+        "trace (see --trace-out)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help=f"where --trace writes its Chrome trace JSON (default {DEFAULT_TRACE_OUT}); "
+        "implies --trace",
+    )
+    parser.add_argument(
         "--json",
         type=Path,
         default=None,
@@ -1132,6 +1354,24 @@ def main(argv: Optional[List[str]] = None) -> None:
         if json_path is not None:
             json_path.write_text(json.dumps(table, indent=2, sort_keys=True) + "\n")
             print(f"  recorded -> {json_path}")
+    if args.suite in ("trace", "all"):
+        table = bench_trace(
+            n_queries=args.trace_queries,
+            n_events=args.trace_events,
+            repeats=args.repeats,
+        )
+        print(_format_trace(table))
+        # Like the other recording suites: only an explicit trace run records.
+        json_path = (args.json or DEFAULT_TRACE_JSON) if args.suite == "trace" else None
+        if json_path is not None:
+            json_path.write_text(json.dumps(table, indent=2, sort_keys=True) + "\n")
+            print(f"  recorded -> {json_path}")
+    if args.trace or args.trace_out is not None:
+        record_trace(
+            args.trace_out or DEFAULT_TRACE_OUT,
+            n_queries=args.trace_queries,
+            n_events=args.trace_events,
+        )
 
 
 if __name__ == "__main__":

@@ -59,6 +59,20 @@ class ExecutionContext:
     #: the producer that just received a resumption.  Feedback itself remains
     #: a synchronous method call between operators; listeners only watch.
     feedback_listeners: List[FeedbackListener] = field(default_factory=list)
+    #: Optional :class:`~repro.trace.Tracer` observing this context (set by
+    #: ``attach_tracer`` on the owning engine/shard).  Untyped to keep the
+    #: trace package an optional import; ``None`` costs the feedback path one
+    #: attribute load and one branch.
+    tracer: Optional[object] = None
+    #: Shard index this context executes in, used to label trace spans (0
+    #: for single-plan engines).
+    trace_shard: int = 0
+    #: True only while the traced drain loop is inside an operator step of a
+    #: *sampled* trace.  The per-tuple hot-path hooks (tee fan-out, result
+    #: emit) key off this plain bool instead of the tracer's thread-local
+    #: ``active`` property, so an attached-but-idle tracer costs those paths
+    #: a single attribute load.
+    trace_live: bool = False
 
     @property
     def now(self) -> float:
@@ -82,15 +96,23 @@ class ExecutionContext:
         except ValueError:
             pass
 
-    def notify_feedback(self, producer: object, consumer: object, kind: str) -> None:
+    def notify_feedback(
+        self, producer: object, consumer: object, kind: str, feedback: object = None
+    ) -> None:
         """Tell every registered listener that feedback was delivered.
 
         Called by the operator receiving the message (the *producer* in the
         paper's terminology), so every delivery path — direct sends,
         upstream propagation, cancellation resumes — is observed exactly once.
+        ``feedback`` is the delivered :class:`~repro.core.feedback.Feedback`
+        itself; listeners keep their original three-argument shape, and the
+        tracer (which needs the MNS signatures to pair suspend/resume spans)
+        receives it separately.
         """
         for listener in self.feedback_listeners:
             listener(producer, consumer, kind)
+        if self.tracer is not None:
+            self.tracer.on_feedback(producer, consumer, kind, feedback)
 
     def reset(self) -> None:
         """Reset clock, metrics and listeners (used between experiment runs).

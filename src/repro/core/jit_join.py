@@ -528,7 +528,7 @@ class JITJoinOperator(BinaryJoinOperator):
         """``Handle_Feedback`` (Figure 6): propagate, then adjust production."""
         context = self.require_context()
         now = context.now
-        context.notify_feedback(self, from_consumer, feedback.kind)
+        context.notify_feedback(self, from_consumer, feedback.kind, feedback)
         for single in feedback.split():
             signature = single.single()
             if single.kind == FeedbackKind.SUSPEND:

@@ -76,6 +76,7 @@ __all__ = [
     "resolve_scheduler_strategy",
     "install_indexed_listeners",
     "drain_ready_indexed",
+    "drain_ready_indexed_traced",
     "drain_ready_incremental",
     "drain_ready_rescan",
 ]
@@ -275,6 +276,89 @@ def drain_ready_indexed(scheduler: OperatorScheduler, cost) -> None:
         choice.operator.process(tup, choice.port)
 
 
+#: Cost kinds whose per-step deltas are attached to operator-step spans.
+_TRACED_CHARGE_KINDS = (
+    CostKind.PROBE_STEP,
+    CostKind.PREDICATE_EVAL,
+    CostKind.HASH,
+    CostKind.RESULT_BUILD,
+)
+
+
+def drain_ready_indexed_traced(
+    scheduler: OperatorScheduler, cost, tracer, shard: int = 0
+) -> None:
+    """:func:`drain_ready_indexed` with per-step span recording.
+
+    Entered only while the tracer's *current trace is sampled*, so the
+    untraced loop keeps its exact shape for every unsampled event.  Records
+    one scheduler-pop span per decision (policy, ready-set size, whether the
+    pop was served from the jit_aware boosted band — detected by the
+    ``boosted_servings`` counter advancing) and one operator-step span per
+    served tuple (wall time plus the :class:`~repro.metrics.CostKind` charge
+    deltas: probe steps, predicate evaluations, hash lookups — distinguishing
+    indexed probes from scans — and result builds).  Scheduling decisions are
+    identical to the untraced loop; spans only observe.
+    """
+    counters = cost.counters
+    charge = cost.charge
+    policy = scheduler.name
+    while scheduler.ready_count():
+        charge(CostKind.SCHEDULER_STEP)
+        ready = scheduler.ready_count()
+        boosted_before = getattr(scheduler, "boosted_servings", 0)
+        t0 = tracer.now_us()
+        choice = scheduler.pop_next()
+        t1 = tracer.now_us()
+        tracer.record_scheduler_pop(
+            shard,
+            policy,
+            t0,
+            t1 - t0,
+            ready,
+            getattr(scheduler, "boosted_servings", 0) > boosted_before,
+        )
+        queue = choice.queue
+        tup = queue.pop()
+        if queue:
+            scheduler.on_head_change(choice)
+        operator = choice.operator
+        # Queue names carry the hosting plan's prefix ("q0:->Op1.left"), so
+        # the span label is plan-qualified — co-hosted plans reusing operator
+        # names ("Tee", "Op1") get distinct tracks and distinct profiles.
+        queue_name = queue.name
+        arrow = queue_name.find("->")
+        label = (queue_name[:arrow] + operator.name) if arrow > 0 else operator.name
+        before = [counters.get(kind, 0) for kind in _TRACED_CHARGE_KINDS]
+        emitted_before = operator.emitted_count
+        # The hot-path tee/emit hooks key off this plain flag (set only
+        # here, in the sampled drain) instead of the tracer's thread-local
+        # ``active`` property, keeping untraced runs hook-free.
+        step_context = queue.context
+        t2 = tracer.now_us()
+        step_context.trace_live = True
+        try:
+            operator.process(tup, choice.port)
+        finally:
+            step_context.trace_live = False
+        t3 = tracer.now_us()
+        charges = {}
+        for kind, base in zip(_TRACED_CHARGE_KINDS, before):
+            delta = counters.get(kind, 0) - base
+            if delta:
+                charges[kind] = delta
+        tracer.record_operator_step(
+            shard,
+            label,
+            choice.port,
+            t2,
+            t3 - t2,
+            charges,
+            operator.emitted_count - emitted_before,
+            tup.ts,
+        )
+
+
 def drain_ready_incremental(
     ready: Dict[int, ReadyInput], scheduler: OperatorScheduler, cost
 ) -> None:
@@ -378,6 +462,8 @@ class ExecutionEngine:
         #: Arrivals processed so far (same meaning as the shard counter, so
         #: serving telemetry can compute steps-per-event for either engine).
         self.events_processed = 0
+        #: Optional flight recorder (see :meth:`attach_tracer`).
+        self.tracer = None
         if not plan.is_attached:
             plan.attach(context)
         plan.set_result_sink(self.collector.add)
@@ -421,9 +507,30 @@ class ExecutionEngine:
             drain_ready_rescan(self._ready_meta, self.scheduler, self.context.cost)
             return
         if self.scheduler_strategy == SchedulerStrategy.INDEXED:
-            drain_ready_indexed(self.scheduler, self.context.cost)
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled and tracer.active:
+                drain_ready_indexed_traced(
+                    self.scheduler,
+                    self.context.cost,
+                    tracer,
+                    self.context.trace_shard,
+                )
+            else:
+                drain_ready_indexed(self.scheduler, self.context.cost)
             return
         drain_ready_incremental(self._ready, self.scheduler, self.context.cost)
+
+    # -- tracing --------------------------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a :class:`~repro.trace.Tracer` flight recorder.
+
+        From now on every ingested event opens one trace (subject to the
+        tracer's head-based sampling) and sampled events run the traced
+        drain loop.  Detach by attaching ``None``.
+        """
+        self.tracer = tracer
+        self.context.tracer = tracer
 
     # -- execution ------------------------------------------------------------------
 
@@ -452,12 +559,20 @@ class ExecutionEngine:
         """Advance the clock and push one arrival into the plan."""
         self.context.clock.advance_to(event.ts)
         self.events_processed += 1
-        if self.mode == ExecutionMode.SYNCHRONOUS:
-            self.plan.deliver(event.tuple, event.source)
-            return
-        for operator, port in self.plan.targets_for(event.source):
-            self._input_queues[(id(operator), port)].push(event.tuple)
-        self._drain_queues()
+        tracer = self.tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        ctx = tracer.begin_trace(event, fanout=1) if tracer is not None else None
+        try:
+            if self.mode == ExecutionMode.SYNCHRONOUS:
+                self.plan.deliver(event.tuple, event.source)
+                return
+            for operator, port in self.plan.targets_for(event.source):
+                self._input_queues[(id(operator), port)].push(event.tuple)
+            self._drain_queues()
+        finally:
+            if tracer is not None:
+                tracer.end_trace(ctx)
 
     def process_batch(self, events: Sequence[StreamEvent]) -> None:
         """Process a micro-batch of same-timestamp arrivals.
@@ -478,14 +593,28 @@ class ExecutionEngine:
                 )
         self.context.clock.advance_to(ts)
         self.events_processed += len(events)
-        if self.mode == ExecutionMode.SYNCHRONOUS:
+        # One trace covers the whole micro-batch: the batch shares a single
+        # drain, so per-event attribution inside it is not separable anyway.
+        tracer = self.tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        ctx = (
+            tracer.begin_trace(events[0], fanout=len(events))
+            if tracer is not None
+            else None
+        )
+        try:
+            if self.mode == ExecutionMode.SYNCHRONOUS:
+                for event in events:
+                    self.plan.deliver(event.tuple, event.source)
+                return
             for event in events:
-                self.plan.deliver(event.tuple, event.source)
-            return
-        for event in events:
-            for operator, port in self.plan.targets_for(event.source):
-                self._input_queues[(id(operator), port)].push(event.tuple)
-        self._drain_queues()
+                for operator, port in self.plan.targets_for(event.source):
+                    self._input_queues[(id(operator), port)].push(event.tuple)
+            self._drain_queues()
+        finally:
+            if tracer is not None:
+                tracer.end_trace(ctx)
 
     def run(self, events: Iterable[StreamEvent]) -> RunReport:
         """Process every event and return the run report."""

@@ -53,6 +53,7 @@ from repro.engine.engine import (
     SchedulerStrategy,
     drain_ready_incremental,
     drain_ready_indexed,
+    drain_ready_indexed_traced,
     drain_ready_rescan,
     install_indexed_listeners,
     resolve_scheduler_strategy,
@@ -211,6 +212,23 @@ class ShardEngine:
         self._next_order = 0
         #: Source name -> input queues of every hosted plan consuming it.
         self._routes: Dict[str, List[InterOperatorQueue]] = {}
+        #: Optional flight recorder (see :meth:`attach_tracer`).
+        self.tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a :class:`~repro.trace.Tracer` to this shard.
+
+        Every hosted context (current and future) gets the tracer, so
+        operator-level hooks (tee fan-out, result emits, feedback) can see
+        it; spans are labelled with this shard's id.
+        """
+        self.tracer = tracer
+        for runtime in self.runtimes:
+            runtime.context.tracer = tracer
+            runtime.context.trace_shard = self.shard_id
+        for shared in self._shared.values():
+            shared.context.tracer = tracer
+            shared.context.trace_shard = self.shard_id
 
     # -- hosting -------------------------------------------------------------
 
@@ -223,6 +241,8 @@ class ShardEngine:
             # Same seed a standalone run_workload context gets, so hosted
             # plans draw identical randomness (Bloom seeds etc.).
             rng=random.Random(0),
+            tracer=self.tracer,
+            trace_shard=self.shard_id,
         )
 
     def _wire_plan(
@@ -473,19 +493,62 @@ class ShardEngine:
             drain_ready_rescan(self._ready_meta, self.scheduler, self.cost)
             return
         if self.scheduler_strategy == SchedulerStrategy.INDEXED:
-            drain_ready_indexed(self.scheduler, self.cost)
+            tracer = self.tracer
+            # ``enabled`` is a plain attribute; checking it first keeps the
+            # disabled-tracer drain at one attribute load instead of the
+            # thread-local ``active`` property.
+            if tracer is not None and tracer.enabled and tracer.active:
+                drain_ready_indexed_traced(
+                    self.scheduler, self.cost, tracer, self.shard_id
+                )
+            else:
+                drain_ready_indexed(self.scheduler, self.cost)
             return
         drain_ready_incremental(self._ready, self.scheduler, self.cost)
 
-    def process_event(self, event: StreamEvent) -> None:
-        """Advance this shard's clock, deliver one routed event, drain."""
-        self.clock.advance_to(event.ts)
-        for queue in self._routes.get(event.source, ()):
-            queue.push(event.tuple)
-        self._drain()
-        self.events_processed += 1
+    def process_event(self, event: StreamEvent, trace_ctx=None) -> None:
+        """Advance this shard's clock, deliver one routed event, drain.
 
-    def process_batch(self, events: Sequence[StreamEvent]) -> None:
+        ``trace_ctx`` carries the trace context opened at ingestion when the
+        event crossed a thread boundary to get here (thread-per-shard mode);
+        it is activated on this thread for the duration of the call so the
+        drain's spans join the ingesting event's trace.
+        """
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            self.clock.advance_to(event.ts)
+            for queue in self._routes.get(event.source, ()):
+                queue.push(event.tuple)
+            self._drain()
+            self.events_processed += 1
+            return
+        previous = tracer.activate(trace_ctx) if trace_ctx is not None else None
+        try:
+            self.clock.advance_to(event.ts)
+            if tracer.active:
+                start = tracer.now_us()
+                pushes = 0
+                for queue in self._routes.get(event.source, ()):
+                    queue.push(event.tuple)
+                    pushes += 1
+                self._drain()
+                tracer.record_shard_span(
+                    self.shard_id,
+                    event.source,
+                    start,
+                    tracer.now_us() - start,
+                    pushes,
+                )
+            else:
+                for queue in self._routes.get(event.source, ()):
+                    queue.push(event.tuple)
+                self._drain()
+            self.events_processed += 1
+        finally:
+            if trace_ctx is not None:
+                tracer.restore(previous)
+
+    def process_batch(self, events: Sequence[StreamEvent], trace_ctx=None) -> None:
         """Deliver a micro-batch of same-timestamp routed events, drain once."""
         if not events:
             return
@@ -495,12 +558,40 @@ class ShardEngine:
                 raise ValueError(
                     f"process_batch needs same-timestamp events, got {ts} and {event.ts}"
                 )
-        self.clock.advance_to(ts)
-        for event in events:
-            for queue in self._routes.get(event.source, ()):
-                queue.push(event.tuple)
-        self._drain()
-        self.events_processed += len(events)
+        tracer = self.tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        previous = (
+            tracer.activate(trace_ctx)
+            if tracer is not None and trace_ctx is not None
+            else None
+        )
+        try:
+            self.clock.advance_to(ts)
+            if tracer is not None and tracer.active:
+                start = tracer.now_us()
+                pushes = 0
+                for event in events:
+                    for queue in self._routes.get(event.source, ()):
+                        queue.push(event.tuple)
+                        pushes += 1
+                self._drain()
+                tracer.record_shard_span(
+                    self.shard_id,
+                    events[0].source,
+                    start,
+                    tracer.now_us() - start,
+                    pushes,
+                )
+            else:
+                for event in events:
+                    for queue in self._routes.get(event.source, ()):
+                        queue.push(event.tuple)
+                self._drain()
+            self.events_processed += len(events)
+        finally:
+            if tracer is not None and trace_ctx is not None:
+                tracer.restore(previous)
 
     # -- reporting -----------------------------------------------------------
 

@@ -130,12 +130,22 @@ class _ShardWorker(threading.Thread):
         super().__init__(name=f"shard-{shard.shard_id}", daemon=True)
         self.shard = shard
         self._cond = threading.Condition()
-        self._buffer: Deque[Union[StreamEvent, List[StreamEvent]]] = deque()
+        #: Buffered (event-or-batch, trace context) pairs.  The trace context
+        #: travels with the item across the thread boundary so the worker can
+        #: re-activate it — head-based sampling decided at ingestion must
+        #: hold on the draining thread (``None`` when no tracer is attached).
+        self._buffer: Deque[
+            Tuple[Union[StreamEvent, List[StreamEvent]], Optional[object]]
+        ] = deque()
         self._busy = False
         self._stopping = False
         self.error: Optional[BaseException] = None
 
-    def enqueue(self, item: Union[StreamEvent, List[StreamEvent]]) -> None:
+    def enqueue(
+        self,
+        item: Union[StreamEvent, List[StreamEvent]],
+        trace_ctx: Optional[object] = None,
+    ) -> None:
         with self._cond:
             if self.error is not None:
                 raise RuntimeError(
@@ -143,7 +153,7 @@ class _ShardWorker(threading.Thread):
                 ) from self.error
             if self._stopping:
                 raise RuntimeError(f"shard {self.shard.shard_id} worker is stopped")
-            self._buffer.append(item)
+            self._buffer.append((item, trace_ctx))
             self._cond.notify_all()
 
     def run(self) -> None:  # pragma: no cover - exercised via threaded tests
@@ -157,11 +167,11 @@ class _ShardWorker(threading.Thread):
                 self._buffer.clear()
                 self._busy = True
             try:
-                for item in chunk:
+                for item, trace_ctx in chunk:
                     if isinstance(item, list):
-                        self.shard.process_batch(item)
+                        self.shard.process_batch(item, trace_ctx=trace_ctx)
                     else:
-                        self.shard.process_event(item)
+                        self.shard.process_event(item, trace_ctx=trace_ctx)
             except BaseException as exc:
                 with self._cond:
                     self.error = exc
@@ -282,11 +292,26 @@ class ShardedEngine:
         #: of an empty buffer is a pure no-op.
         self._pending_lock = threading.Lock()
         self._closed = False
+        #: Optional flight recorder (see :meth:`attach_tracer`).
+        self.tracer = None
         self._workers: List[_ShardWorker] = []
         if threaded:
             self._workers = [_ShardWorker(shard) for shard in self.shards]
             for worker in self._workers:
                 worker.start()
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a :class:`~repro.trace.Tracer` to the whole engine.
+
+        The ingestion path opens one trace per submitted event (the
+        head-based sampling draw happens on the ingestion thread, so it is
+        deterministic for a given workload and seed) and propagates the
+        trace context with the event into every subscribed shard — across
+        the worker-thread boundary in the threaded mode.
+        """
+        self.tracer = tracer
+        for shard in self.shards:
+            shard.attach_tracer(tracer)
 
     def _host_entry(self, entry) -> PlanRuntime:
         """Place, host and route one registration (shared by init/add_query)."""
@@ -388,11 +413,25 @@ class ShardedEngine:
         if not shard_ids:
             self.router.dropped_events += 1
             return
-        for shard_id in shard_ids:
-            if self.threaded:
-                self._workers[shard_id].enqueue(event)
-            else:
-                self.shards[shard_id].process_event(event)
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            # Hot path: a missing (or constructed-disabled) tracer costs the
+            # dispatch exactly one extra attribute load and branch.
+            for shard_id in shard_ids:
+                if self.threaded:
+                    self._workers[shard_id].enqueue(event)
+                else:
+                    self.shards[shard_id].process_event(event)
+            return
+        ctx = tracer.begin_trace(event, fanout=len(shard_ids))
+        try:
+            for shard_id in shard_ids:
+                if self.threaded:
+                    self._workers[shard_id].enqueue(event, trace_ctx=ctx)
+                else:
+                    self.shards[shard_id].process_event(event)
+        finally:
+            tracer.end_trace(ctx)
 
     def _dispatch_batch(self, events: List[StreamEvent]) -> None:
         if not events:
@@ -413,11 +452,27 @@ class ShardedEngine:
                 continue
             for shard_id in shard_ids:
                 per_shard.setdefault(shard_id, []).append(event)
-        for shard_id, shard_events in sorted(per_shard.items()):
-            if self.threaded:
-                self._workers[shard_id].enqueue(shard_events)
-            else:
-                self.shards[shard_id].process_batch(shard_events)
+        if not per_shard:
+            return
+        # One trace covers the whole micro-batch (it shares one drain per
+        # shard); the head-based draw still happens once, at ingestion.
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            for shard_id, shard_events in sorted(per_shard.items()):
+                if self.threaded:
+                    self._workers[shard_id].enqueue(shard_events)
+                else:
+                    self.shards[shard_id].process_batch(shard_events)
+            return
+        ctx = tracer.begin_trace(events[0], fanout=len(per_shard))
+        try:
+            for shard_id, shard_events in sorted(per_shard.items()):
+                if self.threaded:
+                    self._workers[shard_id].enqueue(shard_events, trace_ctx=ctx)
+                else:
+                    self.shards[shard_id].process_batch(shard_events)
+        finally:
+            tracer.end_trace(ctx)
 
     # -- pull-style drivers (built on the push API) ---------------------------
 

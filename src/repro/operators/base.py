@@ -181,6 +181,8 @@ class Operator(ABC):
         if self.consumer is None:
             if self.result_sink is not None:
                 self.result_sink(tup)
+                if context.trace_live:
+                    context.tracer.record_result_emit(self.name, tup.ts)
             return True
         if self.output_queue is not None:
             self.output_queue.push(tup)

@@ -132,7 +132,23 @@ class TeeOperator(UnaryOperator):
     def process(self, tup: StreamTuple, port: str) -> None:
         """Deliver one shared result to every subscriber, charged per delivery."""
         self._check_port(port)
-        charge = self.require_context().cost.charge
+        context = self.require_context()
+        if context.trace_live:
+            tracer = context.tracer
+            start = tracer.now_us()
+            self._deliver(tup, context)
+            tracer.record_tee_fanout(
+                context.trace_shard,
+                self.name,
+                start,
+                tracer.now_us() - start,
+                self.subscriber_ids,
+            )
+        else:
+            self._deliver(tup, context)
+
+    def _deliver(self, tup: StreamTuple, context) -> None:
+        charge = context.cost.charge
         for subscriber in self.subscribers:
             charge(CostKind.RESULT_BUILD)
             subscriber.delivered += 1

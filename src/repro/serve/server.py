@@ -135,6 +135,31 @@ METRIC_DOC: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
     "serve_uptime_seconds": (
         "gauge", (), "Wall-clock seconds since the server was constructed."
     ),
+    # -- flight-recorder bridge (repro.trace): all zero without a tracer ------
+    "trace_traces_total": (
+        "gauge", (), "Traces opened at ingestion (one per submitted event/batch)."
+    ),
+    "trace_traces_sampled_total": (
+        "gauge", (), "Traces selected by head-based sampling (spans recorded)."
+    ),
+    "trace_spans_recorded_total": (
+        "gauge", (), "Spans appended to the tracer's ring buffer, lifetime."
+    ),
+    "trace_spans_dropped_total": (
+        "gauge", (), "Oldest spans evicted by the bounded ring (flight-recorder overwrite)."
+    ),
+    "trace_buffer_occupancy": (
+        "gauge", (), "Spans currently retained in the ring buffer."
+    ),
+    "trace_buffer_capacity": (
+        "gauge", (), "Configured bound of the span ring buffer."
+    ),
+    "trace_sample_rate": (
+        "gauge", (), "Configured head-based sampling probability of the tracer."
+    ),
+    "trace_mns_spans_open": (
+        "gauge", (), "MNS suspension spans currently open (suspended, not yet resumed)."
+    ),
 }
 
 
@@ -197,6 +222,12 @@ class StreamServer:
     drain_batch:
         Events moved per backpressure engagement of the ``block`` policy
         (and the default chunk of :meth:`drain` in the asyncio adapter).
+    tracer:
+        Optional :class:`~repro.trace.Tracer` flight recorder.  The server
+        attaches it to the wrapped engine, stamps each buffered event's
+        wall-clock wait so ingest spans carry ``buffer_wait_s``, and bridges
+        the ``trace_*`` metric families into the exposition (the families
+        are registered either way and read zero without a tracer).
     """
 
     def __init__(
@@ -207,6 +238,7 @@ class StreamServer:
         telemetry: Optional[TelemetryRegistry] = None,
         admission: Optional[AdmissionPolicy] = None,
         drain_batch: int = 64,
+        tracer=None,
     ) -> None:
         if drain_batch < 1:
             raise ValueError(f"drain_batch must be positive, got {drain_batch}")
@@ -214,6 +246,13 @@ class StreamServer:
         self.policy = policy
         self.drain_batch = drain_batch
         self.admission = admission
+        self.tracer = tracer
+        if tracer is not None:
+            engine.attach_tracer(tracer)
+        #: Wall-clock offer time per buffered event (tracer attached only);
+        #: entries are removed on delivery and on shed, so the dict is
+        #: bounded by the buffer capacity.
+        self._offered_at: Dict[int, float] = {}
         self.telemetry = telemetry if telemetry is not None else TelemetryRegistry()
         self._started = time.perf_counter()
         self._shards = self._discover_shards()
@@ -410,6 +449,32 @@ class StreamServer:
             METRIC_DOC["serve_uptime_seconds"][2],
             callback=lambda: self.uptime_seconds,
         )
+        for family, stat_key in (
+            ("trace_traces_total", "traces_started"),
+            ("trace_traces_sampled_total", "traces_sampled"),
+            ("trace_spans_recorded_total", "spans_recorded"),
+            ("trace_spans_dropped_total", "spans_dropped"),
+            ("trace_buffer_occupancy", "spans_retained"),
+            ("trace_mns_spans_open", "mns_spans_open"),
+            ("trace_sample_rate", "sample_rate"),
+        ):
+            registry.gauge(
+                family,
+                METRIC_DOC[family][2],
+                callback=lambda key=stat_key: self._trace_stat(key),
+            )
+        registry.gauge(
+            "trace_buffer_capacity",
+            METRIC_DOC["trace_buffer_capacity"][2],
+            callback=lambda: float(self.tracer.ring.capacity)
+            if self.tracer is not None
+            else 0.0,
+        )
+
+    def _trace_stat(self, key: str) -> float:
+        if self.tracer is None:
+            return 0.0
+        return float(self.tracer.stats()[key])
 
     @staticmethod
     def _shard_cost(shard):
@@ -528,8 +593,11 @@ class StreamServer:
             self._backpressure.inc()
             self.drain(self.drain_batch)
             outcome, shed = self.buffer.offer(event)
+        if self.tracer is not None and self.tracer.enabled:
+            self._offered_at[id(event)] = time.perf_counter()
         for victim in shed:
             self._shed.labels(policy=self.policy, source=victim.source).inc()
+            self._offered_at.pop(id(victim), None)
         self._ingested.labels(source=event.source).inc()
         if event.ts > self.ingest_watermark:
             self.ingest_watermark = event.ts
@@ -543,7 +611,14 @@ class StreamServer:
         """Deliver up to ``max_events`` buffered events to the engine, in order."""
         self._check_open()
         delivered = 0
+        tracer = self.tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
         for event in self.buffer.pop_batch(max_events):
+            if tracer is not None:
+                offered = self._offered_at.pop(id(event), None)
+                if offered is not None:
+                    tracer.note_buffer_wait(time.perf_counter() - offered)
             self.engine.submit(event)
             self._delivered.labels(source=event.source).inc()
             delivered += 1

@@ -74,6 +74,34 @@ def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _unescape(value: str) -> str:
+    """Invert :func:`_escape` per the Prometheus text-format escaping rules.
+
+    Processed left to right so ``\\\\n`` round-trips as a backslash followed
+    by ``n`` (not a newline) — naive chained ``str.replace`` gets this wrong.
+    """
+    if "\\" not in value:
+        return value
+    out: List[str] = []
+    i = 0
+    length = len(value)
+    while i < length:
+        char = value[i]
+        if char == "\\" and i + 1 < length:
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(char)
+        i += 1
+    return "".join(out)
+
+
 def _normalize(labelnames: Sequence[str], labels: Mapping[str, object]) -> LabelValues:
     if set(labels) != set(labelnames):
         raise TelemetryError(
@@ -418,11 +446,16 @@ def parse_exposition(text: str) -> Dict[str, Dict[LabelValues, float]]:
             raise TelemetryError(f"malformed exposition line: {line!r}")
         if "{" in name_part:
             name, _, label_part = name_part.partition("{")
-            label_part = label_part.rstrip("}")
+            # Exactly one closing brace terminates the label set; a literal
+            # ``}`` inside a quoted label value must survive.
+            if label_part.endswith("}"):
+                label_part = label_part[:-1]
             labels: List[Tuple[str, str]] = []
             for item in _split_labels(label_part):
                 key, _, raw = item.partition("=")
-                labels.append((key, raw.strip('"')))
+                if len(raw) >= 2 and raw.startswith('"') and raw.endswith('"'):
+                    raw = raw[1:-1]
+                labels.append((key, _unescape(raw)))
             key_tuple: LabelValues = tuple(labels)
         else:
             name, key_tuple = name_part, ()
@@ -435,15 +468,30 @@ def parse_exposition(text: str) -> Dict[str, Dict[LabelValues, float]]:
 
 
 def _split_labels(label_part: str) -> List[str]:
-    """Split ``k1="v1",k2="v2"`` respecting quoted commas."""
+    """Split ``k1="v1",k2="v2"`` respecting quoted commas.
+
+    Quote tracking is escape-aware: a ``\\"`` inside a quoted value does not
+    terminate the value (and ``\\\\`` does not escape the quote that follows
+    it), so label values containing escaped quotes, backslashes or commas
+    split correctly.
+    """
     items: List[str] = []
     current: List[str] = []
     in_quotes = False
+    escaped = False
     for char in label_part:
-        if char == '"':
-            in_quotes = not in_quotes
+        if in_quotes:
             current.append(char)
-        elif char == "," and not in_quotes:
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == '"':
+                in_quotes = False
+        elif char == '"':
+            in_quotes = True
+            current.append(char)
+        elif char == ",":
             items.append("".join(current))
             current = []
         else:

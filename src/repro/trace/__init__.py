@@ -1,0 +1,25 @@
+"""Event-level tracing and per-operator profiling (the flight recorder).
+
+* :mod:`repro.trace.spans` -- the span model and the bounded span ring.
+* :mod:`repro.trace.tracer` -- :class:`Tracer`: head-based deterministic
+  sampling, causally-linked span recording across shard boundaries, MNS
+  suspend/resume pairing, Chrome trace-event export.
+* :mod:`repro.trace.explain` -- :func:`explain_analyze`, the per-query
+  operator-tree report over the tracer's profile aggregates.
+
+See ``docs/TRACING.md`` for the span model and the Perfetto how-to.
+"""
+
+from repro.trace.explain import explain_analyze, explain_operator_lines
+from repro.trace.spans import SpanKind, SpanRing
+from repro.trace.tracer import TraceContext, Tracer, validate_chrome_trace
+
+__all__ = [
+    "SpanKind",
+    "SpanRing",
+    "TraceContext",
+    "Tracer",
+    "explain_analyze",
+    "explain_operator_lines",
+    "validate_chrome_trace",
+]

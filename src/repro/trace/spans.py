@@ -1,0 +1,115 @@
+"""Span model and bounded ring buffer of the flight recorder.
+
+A *span* is one timed (or instantaneous) piece of an event's causal path
+through the pipeline: its ingestion, the router fan-out, a scheduler pop, an
+operator step, a tee delivery, an MNS suspension's lifetime, a result
+emission.  Spans are stored as plain dicts already shaped like Chrome
+trace-event records (``name``/``cat``/``ph``/``ts``/``dur``/``pid``/``tid``/
+``args``) so export is a copy, not a transformation:
+
+* ``ph: "X"`` — a complete span with a duration (scheduler pops, operator
+  steps, tee fan-outs, shard drains).
+* ``ph: "i"`` — an instant event (ingestion, feedback deliveries, result
+  emissions).
+* ``ph: "b"`` / ``"e"`` — an async begin/end pair sharing ``id`` and ``cat``:
+  the lifetime of one MNS suspension, opened when the producer receives the
+  ``<suspend, Π>`` message and closed by the matching ``<resume, Π>``.
+
+Timestamps are wall-clock microseconds relative to the tracer's epoch
+(Chrome trace-event convention); the originating *virtual* time is carried
+in ``args`` where it matters.
+
+The ring buffer is bounded: when full, the **oldest** span is dropped (and
+counted), so a long-running server keeps the freshest window of spans and
+memory stays O(capacity) — a flight recorder, not an archive.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List
+
+__all__ = ["SpanKind", "SpanRing"]
+
+
+class SpanKind:
+    """Categories (Chrome trace ``cat``) of the spans the tracer records."""
+
+    #: One event accepted at the ingestion boundary (instant).
+    INGEST = "ingest"
+    #: Router fan-out of one event to its subscribed shards (instant).
+    ROUTE = "route"
+    #: One shard processing one routed event: pushes plus the drain (X).
+    SHARD = "shard"
+    #: One scheduling decision: policy, ready-set size, boost state (X).
+    SCHEDULER_POP = "scheduler_pop"
+    #: One operator consuming one tuple, with its cost-kind charges (X).
+    OPERATOR_STEP = "operator_step"
+    #: One shared result fanned out to N tee subscribers (X).
+    TEE_FANOUT = "tee_fanout"
+    #: One JIT feedback message delivered to a producer (instant).
+    FEEDBACK = "feedback"
+    #: Lifetime of one MNS suspension: suspend -> resume (async b/e pair).
+    MNS = "mns"
+    #: One result tuple handed to a result sink (instant).
+    RESULT_EMIT = "result_emit"
+
+    ALL = (
+        INGEST,
+        ROUTE,
+        SHARD,
+        SCHEDULER_POP,
+        OPERATOR_STEP,
+        TEE_FANOUT,
+        FEEDBACK,
+        MNS,
+        RESULT_EMIT,
+    )
+
+
+class SpanRing:
+    """Bounded, thread-safe ring of span dicts (oldest dropped when full).
+
+    Appends happen on whichever thread executes the instrumented code —
+    the ingestion thread and every shard worker — so the ring takes a lock
+    per append.  The lock is only ever contended on *sampled* traces; a
+    disabled or non-sampling tracer never reaches the ring.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"ring capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._spans: Deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.appended_total = 0
+        self.dropped_total = 0
+
+    def append(self, span: dict) -> None:
+        """Add one span, evicting (and counting) the oldest when full."""
+        with self._lock:
+            if len(self._spans) == self.capacity:
+                self.dropped_total += 1
+            self._spans.append(span)
+            self.appended_total += 1
+
+    def snapshot(self) -> List[dict]:
+        """A consistent copy of the retained spans, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        """Drop every retained span (counters keep their lifetime totals)."""
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRing({len(self)}/{self.capacity}, "
+            f"appended={self.appended_total}, dropped={self.dropped_total})"
+        )

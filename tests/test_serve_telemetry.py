@@ -186,6 +186,52 @@ class TestHelpers:
             validate_metric_exists("a 1\n", "b")
 
 
+class TestLabelEscapingRoundTrip:
+    """Prometheus text-format escaping: render -> parse must be lossless.
+
+    The spec escapes ``\\``, ``"`` and newline inside label values; the
+    parser must unescape left to right (``\\\\n`` is a backslash then an
+    ``n``, not a newline) and must not split on commas or quotes *inside*
+    escaped values.
+    """
+
+    AWKWARD = (
+        "back\\slash",
+        'quo"te',
+        "new\nline",
+        "comma,inside",
+        "trailing}",
+        "\\n-literal",
+        "mix\\\"}\n,end",
+    )
+
+    @pytest.mark.parametrize("value", AWKWARD)
+    def test_single_value_round_trips(self, value):
+        counter = Counter("events_total", "x", ("source",))
+        counter.labels(source=value).inc(3)
+        parsed = parse_exposition("\n".join(counter.render()) + "\n")
+        assert parsed["events_total"] == {(("source", value),): 3.0}
+
+    def test_multiple_awkward_labels_round_trip(self):
+        counter = Counter("events_total", "x", ("a", "b"))
+        counter.labels(a='x,"y\\', b="z\n}").inc(1)
+        counter.labels(a="plain", b="also plain").inc(2)
+        parsed = parse_exposition("\n".join(counter.render()) + "\n")
+        assert parsed["events_total"][(("a", 'x,"y\\'), ("b", "z\n}"))] == 1.0
+        assert parsed["events_total"][(("a", "plain"), ("b", "also plain"))] == 2.0
+
+    def test_get_metric_value_matches_escaped_series(self):
+        gauge = Gauge("depth", "x", ("q",), callback=lambda: {'a"b': 4.0})
+        text = "\n".join(gauge.render()) + "\n"
+        assert get_metric_value(text, "depth", {"q": 'a"b'}) == 4.0
+
+    def test_rendered_line_is_spec_escaped(self):
+        counter = Counter("events_total", "x", ("source",))
+        counter.labels(source='a\\b"c\nd').inc()
+        line = [l for l in counter.render() if not l.startswith("#")][0]
+        assert 'source="a\\\\b\\"c\\nd"' in line
+
+
 # ------------------------------------------------- live exposition & equivalence
 
 

@@ -50,7 +50,8 @@ Run directly::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py [--events 10000]
     PYTHONPATH=src python benchmarks/bench_throughput.py --suite multi \
-        [--queries 128] [--shards 1,4,8] [--multi-events 6000] [--json PATH]
+        [--queries 128] [--shards 1,2,4,8] [--drain-modes sync,thread,process] \
+        [--multi-events 6000] [--json PATH]
 
 or through pytest (wall-clock numbers are printed; the ≥3x indexed-probe
 speedup on the 10k-event workload and the N-shard-threaded ≥ 1-shard
@@ -63,6 +64,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -257,23 +259,29 @@ def _multi_registry(workload, strategy: str) -> QueryRegistry:
     return registry
 
 
+#: ``drain_mode`` -> the label suffix the sharding table uses for it.
+_DRAIN_LABELS = {"sync": "sync", "thread": "threaded", "process": "process"}
+
+
 def bench_multi_query(
     n_queries: int = DEFAULT_QUERIES,
     n_events: int = DEFAULT_MULTI_EVENTS,
-    shard_counts: Tuple[int, ...] = (1, 4, 8),
+    shard_counts: Tuple[int, ...] = (1, 2, 4, 8),
     strategy: str = STRATEGY_REF,
     repeats: int = 2,
+    drain_modes: Tuple[str, ...] = ("sync", "thread", "process"),
 ) -> Dict[str, object]:
     """The sharded multi-query serving benchmark.
 
     ``n_queries`` standing neighborhood queries over 4 shared streams are
-    served by the :class:`ShardedEngine` at each shard count, synchronously
-    and in the thread-per-shard mode, and (1 shard, sync) additionally with
-    the RESCAN ready-set baseline.  Few sources under many queries puts
-    ~``n_queries/4`` subscribers on every stream, so a single scheduler
-    domain sees ready-sets that big on every arrival — the regime where
-    scheduling cost dominates and sharding splits it (ROADMAP "Ready-set
-    constant factors": the win grows with queue count).
+    served by the :class:`ShardedEngine` at each (shard count × drain mode)
+    point — inline, thread-per-shard, and process-per-shard workers — and
+    (1 shard, sync) additionally with the RESCAN ready-set baseline.  Few
+    sources under many queries puts ~``n_queries/4`` subscribers on every
+    stream, so a single scheduler domain sees ready-sets that big on every
+    arrival — the regime where scheduling cost dominates and sharding splits
+    it (ROADMAP "Ready-set constant factors": the win grows with queue
+    count).
 
     The default ``strategy`` is REF so the measurement isolates the serving
     layer (routing, queues, scheduler domains) the suite is about; the JIT
@@ -281,10 +289,22 @@ def bench_multi_query(
     ``repeats`` times and reports its best throughput (shared-runner noise
     is one-sided), and every variant must reproduce the per-query result
     counts of the first.
+
+    Process-mode scaling is physical: the acceptance target adapts to the
+    cores this run can actually use (``cpu_cores`` is recorded alongside the
+    honest numbers) — ≥3x over 1-shard sync on an 8-core machine, ≥1.2x
+    whenever real parallelism exists, record-only on a single core where no
+    parallel speedup is possible and serialization overhead dominates.
     """
     # The 1-shard baseline anchors both the acceptance ratio and the
     # ready-set comparison, so it is always measured.
     shard_counts = tuple(sorted(set(shard_counts) | {1}))
+    drain_modes = tuple(drain_modes)
+    for mode in drain_modes:
+        if mode not in _DRAIN_LABELS:
+            raise ValueError(f"unknown drain mode {mode!r}")
+    if "sync" not in drain_modes:
+        drain_modes = ("sync",) + drain_modes
     n_sources = 4
     rate = 1.0
     workload = generate_multi_query_workload(
@@ -301,8 +321,13 @@ def bench_multi_query(
 
     variants: List[Tuple[str, Dict[str, object]]] = []
     for shards in shard_counts:
-        variants.append((f"{shards}-shard/sync", dict(n_shards=shards)))
-        variants.append((f"{shards}-shard/threaded", dict(n_shards=shards, threaded=True)))
+        for mode in drain_modes:
+            variants.append(
+                (
+                    f"{shards}-shard/{_DRAIN_LABELS[mode]}",
+                    dict(n_shards=shards, drain_mode=mode),
+                )
+            )
     variants.append(
         (
             "1-shard/sync/rescan",
@@ -339,11 +364,52 @@ def bench_multi_query(
         }
 
     one_shard = sharding["1-shard/sync"]["events_per_sec"]
-    best_threaded_label = max(
-        (label for label in sharding if label.endswith("/threaded")),
-        key=lambda label: sharding[label]["events_per_sec"],
-    )
     assert baseline_counts is not None
+    cpu_cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+    acceptance: Dict[str, object] = {
+        "one_shard_sync_events_per_sec": one_shard,
+        "cpu_cores": cpu_cores,
+        "ok": True,
+    }
+    threaded_labels = [label for label in sharding if label.endswith("/threaded")]
+    if threaded_labels:
+        best_threaded_label = max(
+            threaded_labels, key=lambda label: sharding[label]["events_per_sec"]
+        )
+        best_threaded = sharding[best_threaded_label]["events_per_sec"]
+        acceptance.update(
+            best_threaded_label=best_threaded_label,
+            best_threaded_events_per_sec=best_threaded,
+            threaded_vs_one_shard=best_threaded / one_shard,
+            threaded_ok=best_threaded >= one_shard,
+        )
+    process_labels = [label for label in sharding if label.endswith("/process")]
+    if process_labels:
+        best_process_label = max(
+            process_labels, key=lambda label: sharding[label]["events_per_sec"]
+        )
+        best_process = sharding[best_process_label]["events_per_sec"]
+        # Parallel speedup is bounded by the cores this run can use: 3x
+        # needs a real multi-core box; on one core the pickling/pipe tax has
+        # nothing to hide behind and the ratio is recorded without a gate.
+        if cpu_cores >= 8:
+            process_target = 3.0
+        elif cpu_cores >= 2:
+            process_target = 1.2
+        else:
+            process_target = 0.0
+        acceptance.update(
+            best_process_label=best_process_label,
+            best_process_events_per_sec=best_process,
+            process_vs_one_shard=best_process / one_shard,
+            process_target=process_target,
+            process_ok=best_process >= process_target * one_shard,
+        )
+    acceptance["ok"] = bool(
+        acceptance.get("threaded_ok", True) and acceptance.get("process_ok", True)
+    )
     return {
         "config": {
             "n_queries": n_queries,
@@ -356,6 +422,8 @@ def bench_multi_query(
             "strategy": strategy,
             "repeats": repeats,
             "shard_counts": list(shard_counts),
+            "drain_modes": list(drain_modes),
+            "cpu_cores": cpu_cores,
             "workload": workload.describe(),
         },
         "total_results": sum(baseline_counts.values()),
@@ -374,14 +442,7 @@ def bench_multi_query(
             / sharding["1-shard/sync/select"]["events_per_sec"],
             "queues_in_domain": queue_counts["1-shard/sync"],
         },
-        "acceptance": {
-            "one_shard_sync_events_per_sec": one_shard,
-            "best_threaded_label": best_threaded_label,
-            "best_threaded_events_per_sec": sharding[best_threaded_label]["events_per_sec"],
-            "threaded_vs_one_shard": sharding[best_threaded_label]["events_per_sec"]
-            / one_shard,
-            "ok": sharding[best_threaded_label]["events_per_sec"] >= one_shard,
-        },
+        "acceptance": acceptance,
     }
 
 
@@ -1004,10 +1065,22 @@ def _format_multi(table: Dict[str, object]) -> str:
         f"{sched['select_events_per_sec']:,.0f} ev/s -> {sched['speedup']:.2f}x"
     )
     acceptance = table["acceptance"]
-    lines.append(
-        f"  acceptance: {acceptance['best_threaded_label']} vs 1-shard/sync = "
-        f"{acceptance['threaded_vs_one_shard']:.2f}x ({'OK' if acceptance['ok'] else 'FAIL'})"
-    )
+    if "best_threaded_label" in acceptance:
+        lines.append(
+            f"  acceptance: {acceptance['best_threaded_label']} vs 1-shard/sync = "
+            f"{acceptance['threaded_vs_one_shard']:.2f}x "
+            f"({'OK' if acceptance.get('threaded_ok', True) else 'FAIL'})"
+        )
+    if "best_process_label" in acceptance:
+        target = acceptance["process_target"]
+        verdict = "OK" if acceptance["process_ok"] else "FAIL"
+        if target == 0.0:
+            verdict = f"recorded; no gate on {acceptance['cpu_cores']} core(s)"
+        lines.append(
+            f"  acceptance: {acceptance['best_process_label']} vs 1-shard/sync = "
+            f"{acceptance['process_vs_one_shard']:.2f}x on "
+            f"{acceptance['cpu_cores']} core(s), target {target:.1f}x ({verdict})"
+        )
     return "\n".join(lines)
 
 
@@ -1052,18 +1125,28 @@ def test_ready_set_no_regression():
 
 
 def test_multi_query_shard_scaling():
-    """Acceptance (ISSUE 3): on the 128-query workload, the best N-shard
-    threaded configuration must serve events at least as fast as one shard,
-    and the incremental ready-set must clearly beat the rescan baseline at
+    """Acceptance (ISSUES 3 and 9): on the 128-query workload, the best
+    N-shard threaded configuration must serve events at least as fast as one
+    shard; the process drain mode must hit its core-count-scaled scaling
+    target (≥3x over 1-shard sync with 8+ cores — recorded without a gate on
+    a single core, where no parallel speedup is physically possible); and
+    the incremental ready-set must clearly beat the rescan baseline at
     multi-query queue counts."""
     table = bench_multi_query(DEFAULT_QUERIES, DEFAULT_MULTI_EVENTS)
     print()
     print(_format_multi(table))
     acceptance = table["acceptance"]
-    assert acceptance["ok"], (
+    assert acceptance["threaded_ok"], (
         f"N-shard threaded ({acceptance['best_threaded_events_per_sec']:,.0f} ev/s) "
         f"slower than 1-shard ({acceptance['one_shard_sync_events_per_sec']:,.0f} ev/s)"
     )
+    assert acceptance["process_ok"], (
+        f"N-shard process ({acceptance['best_process_events_per_sec']:,.0f} ev/s) "
+        f"missed its {acceptance['process_target']:.1f}x target over 1-shard "
+        f"({acceptance['one_shard_sync_events_per_sec']:,.0f} ev/s) on "
+        f"{acceptance['cpu_cores']} core(s)"
+    )
+    assert acceptance["ok"]
     assert table["ready_set"]["speedup"] > 1.5, (
         f"incremental ready-set should win decisively at "
         f"{table['ready_set']['queues_in_domain']} queues: {table['ready_set']}"
@@ -1176,8 +1259,14 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser.add_argument("--multi-events", type=int, default=DEFAULT_MULTI_EVENTS)
     parser.add_argument(
         "--shards",
-        default="1,4,8",
+        default="1,2,4,8",
         help="comma-separated shard counts for the multi-query suite",
+    )
+    parser.add_argument(
+        "--drain-modes",
+        default="sync,thread,process",
+        help="comma-separated drain modes for the multi-query suite "
+        "(sync, thread, process); sync is always included as the baseline",
     )
     parser.add_argument(
         "--multi-strategy",
@@ -1302,6 +1391,9 @@ def main(argv: Optional[List[str]] = None) -> None:
             shard_counts,
             strategy=args.multi_strategy,
             repeats=args.repeats,
+            drain_modes=tuple(
+                mode.strip() for mode in args.drain_modes.split(",") if mode.strip()
+            ),
         )
         print(_format_multi(table))
         # An explicit multi run records its results; `all` only writes when a

@@ -15,8 +15,12 @@ sources" items.
   only to subscribed shards.
 * :mod:`repro.multi.sharded` — :class:`ShardedEngine`, the serving engine:
   push-based ``submit`` / ``ingest_async`` ingestion with micro-batching,
-  per-query demultiplexed result sinks, aggregated reports, and an opt-in
-  thread-per-shard drain mode.
+  per-query demultiplexed result sinks, and aggregated reports.
+* :mod:`repro.multi.backend` — the worker backends behind
+  ``ShardedEngine(drain_mode=...)``: :class:`InlineBackend` (``"sync"``),
+  :class:`ThreadBackend` (``"thread"``), and :class:`ProcessBackend`
+  (``"process"``), which runs each shard in a worker process fed pickled
+  micro-batches over a pipe and scales with cores (``docs/SCALING.md``).
 * :mod:`repro.multi.partition` — query-to-shard placement policies.
 * :mod:`repro.multi.workload` — many-queries-over-shared-streams workload
   generation for benchmarks and tests.
@@ -30,13 +34,19 @@ Quickstart::
         "SELECT * FROM A [RANGE 60 seconds], B [RANGE 60 seconds] "
         "WHERE A.x1 = B.x1"
     )
-    with ShardedEngine(registry, n_shards=4, threaded=True) as engine:
+    with ShardedEngine(registry, n_shards=4, drain_mode="process") as engine:
         for event in source_of_events:
             engine.submit(event)
         engine.flush()
         print(engine.report().summary())
 """
 
+from repro.multi.backend import (
+    InlineBackend,
+    ProcessBackend,
+    ShardWorkerError,
+    ThreadBackend,
+)
 from repro.multi.clock import SharedVirtualClock, ShardClock
 from repro.multi.partition import (
     Partitioner,
@@ -63,6 +73,10 @@ __all__ = [
     "ShardedEngine",
     "MultiRunReport",
     "QueryReport",
+    "InlineBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "ShardWorkerError",
     "Partitioner",
     "round_robin_partition",
     "hash_partition",

@@ -1,0 +1,1106 @@
+"""Worker backends: how a sharded engine's shards are driven.
+
+The :class:`~repro.multi.sharded.ShardedEngine` decides *where* each event
+goes (router) and *what* every shard hosts (partitioner + registry); a
+**worker backend** decides *how* the receiving shard is driven:
+
+* :class:`InlineBackend` (``drain_mode="sync"``) — the submitting thread
+  drains each receiving shard before returning.  Fully deterministic; the
+  mode the equivalence tests anchor on.
+* :class:`ThreadBackend` (``drain_mode="thread"``) — one worker thread per
+  shard with an ingestion buffer; shards drain concurrently under the GIL.
+  Buys isolation and overlap with blocking sources, not CPU scale-out.
+* :class:`ProcessBackend` (``drain_mode="process"``) — one worker *process*
+  per shard, fed pickled event micro-batches over a pipe.  Each worker owns
+  a full :class:`~repro.multi.shard.ShardEngine` plus its own
+  :class:`~repro.multi.clock.SharedVirtualClock`; the parent ships the
+  global ingestion watermark as a plain number with every command, and the
+  worker demultiplexes per-query results, feedback/MNS stats, telemetry
+  snapshots and (when tracing) spans back over the same pipe.  This is the
+  mode that actually scales with cores — the interpreter's GIL serializes
+  the thread backend (see ``docs/SCALING.md``).
+
+The contract every backend honours, which is what keeps per-query results
+bit-identical across all three modes: each shard processes **its own feed
+in arrival order**, and plans never span shards — a backend changes *when*
+and *where* work happens, never *what* is computed.
+
+The process worker protocol (plain picklable tuples over a
+``multiprocessing.Pipe``):
+
+====================================  =======================================
+parent -> worker                      worker -> parent
+====================================  =======================================
+``("host", entry)``                   ``("hosted", query_id, snapshot)``
+``("retire", query_id)``              ``("retired", query_id, consumes, snap)``
+``("evt", event, ctx, watermark)``    ``("ack", n, results, susp, res)``
+``("batch", events, ctx, watermark)``
+``("flush", token)``                  ``("flushed", token, snap, trace)``
+``("tracer", spec)``
+``("close",)``                        ``("bye", reason)``
+anything failing on the worker        ``("err", shard_id, traceback)``
+====================================  =======================================
+
+Acks are coalesced: a worker under sustained load batches its
+acknowledgements (and the result tuples riding on them) until the command
+pipe goes idle or a flush barrier arrives, so reply traffic amortizes over
+bursts exactly like the thread backend's buffer-grab does.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+import multiprocessing as _mp
+
+from repro.engine.results import ResultCollector
+from repro.metrics import MetricsReport
+from repro.multi.clock import SharedVirtualClock
+from repro.multi.registry import RegisteredQuery
+from repro.multi.shard import ShardEngine
+from repro.scheduler import OperatorScheduler, build_scheduler
+from repro.streams.sources import StreamEvent
+
+__all__ = [
+    "ShardWorkerError",
+    "InlineBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "RemotePlanRuntime",
+    "make_scheduler",
+    "resolve_drain_mode",
+    "DRAIN_MODES",
+]
+
+#: The drain modes a :class:`~repro.multi.sharded.ShardedEngine` accepts.
+DRAIN_MODES = ("sync", "thread", "process")
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker (thread or process) failed or went away.
+
+    The message always names the shard, so an operator reading a crash log
+    (or a test asserting on it) knows which worker to look at.
+    """
+
+
+def resolve_drain_mode(drain_mode: Optional[str], threaded: bool) -> str:
+    """Combine the ``drain_mode`` parameter with the legacy ``threaded`` flag."""
+    if drain_mode is None:
+        return "thread" if threaded else "sync"
+    if drain_mode not in DRAIN_MODES:
+        raise ValueError(
+            f"unknown drain_mode {drain_mode!r}; expected one of {DRAIN_MODES}"
+        )
+    if threaded and drain_mode != "thread":
+        raise ValueError(
+            f"threaded=True conflicts with drain_mode={drain_mode!r}; "
+            "pass one or the other"
+        )
+    return drain_mode
+
+
+def make_scheduler(scheduler: Union[str, Callable[[], object]]) -> OperatorScheduler:
+    """Build one shard's scheduler from a policy name or a zero-arg factory."""
+    if isinstance(scheduler, str):
+        return build_scheduler(scheduler)
+    if callable(scheduler):
+        made = scheduler()
+        if not isinstance(made, OperatorScheduler):
+            raise TypeError(
+                f"scheduler factory returned {type(made).__name__}, "
+                "expected an OperatorScheduler"
+            )
+        return made
+    raise TypeError(
+        "scheduler must be a policy name or a zero-argument factory; "
+        f"got {scheduler!r} (schedulers are stateful, so instances cannot "
+        "be shared across shards)"
+    )
+
+
+# ----------------------------------------------------------------- inline
+
+
+class InlineBackend:
+    """``drain_mode="sync"``: the submitting thread drains shards directly."""
+
+    kind = "sync"
+
+    def __init__(self, shards: Sequence[ShardEngine]) -> None:
+        self.shards = list(shards)
+
+    def host(self, shard_id: int, entry: RegisteredQuery):
+        return self.shards[shard_id].host(entry)
+
+    def retire(self, shard_id: int, query_id: str):
+        shard = self.shards[shard_id]
+        return shard.retire_plan(query_id), shard.consumes
+
+    def dispatch(self, shard_id, item, trace_ctx=None, watermark=0.0) -> None:
+        # The trace context is already active on this thread (begin_trace
+        # ran here), so it is not re-activated — same as the historical
+        # synchronous path.
+        shard = self.shards[shard_id]
+        if isinstance(item, list):
+            shard.process_batch(item)
+        else:
+            shard.process_event(item)
+
+    def barrier(self) -> None:
+        pass
+
+    def barrier_shard(self, shard_id: int) -> None:
+        pass
+
+    def metrics(self, shard_id: int) -> MetricsReport:
+        return self.shards[shard_id].metrics()
+
+    def attach_tracer(self, tracer) -> None:
+        for shard in self.shards:
+            shard.attach_tracer(tracer)
+
+    def worker_liveness(self) -> Dict[int, int]:
+        return {shard.shard_id: 1 for shard in self.shards}
+
+    def worker_restarts(self) -> Dict[int, int]:
+        return {shard.shard_id: 0 for shard in self.shards}
+
+    def add_feedback_delta_listener(self, listener) -> None:
+        # Local contexts deliver feedback in-process; there are no shipped
+        # deltas for this backend to relay.
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+# ----------------------------------------------------------------- thread
+
+
+class _ShardWorker(threading.Thread):
+    """Worker thread draining one shard's ingestion buffer.
+
+    The router enqueues events (or same-timestamp batches) in arrival order;
+    the worker grabs the whole buffer under the lock and processes it
+    outside, so lock traffic is amortized over bursts rather than paid per
+    event.  A failure poisons the worker: the error is re-raised on the next
+    ``enqueue``/``wait_idle`` so ingestion never silently loses events.
+    """
+
+    def __init__(self, shard: ShardEngine) -> None:
+        super().__init__(name=f"shard-{shard.shard_id}", daemon=True)
+        self.shard = shard
+        self._cond = threading.Condition()
+        #: Buffered (event-or-batch, trace context) pairs.  The trace context
+        #: travels with the item across the thread boundary so the worker can
+        #: re-activate it — head-based sampling decided at ingestion must
+        #: hold on the draining thread (``None`` when no tracer is attached).
+        self._buffer: Deque[
+            Tuple[Union[StreamEvent, List[StreamEvent]], Optional[object]]
+        ] = deque()
+        self._busy = False
+        self._stopping = False
+        self.error: Optional[BaseException] = None
+
+    def enqueue(
+        self,
+        item: Union[StreamEvent, List[StreamEvent]],
+        trace_ctx: Optional[object] = None,
+    ) -> None:
+        with self._cond:
+            if self.error is not None:
+                raise ShardWorkerError(
+                    f"shard {self.shard.shard_id} worker already failed"
+                ) from self.error
+            if self._stopping:
+                raise ShardWorkerError(
+                    f"shard {self.shard.shard_id} worker is stopped"
+                )
+            self._buffer.append((item, trace_ctx))
+            self._cond.notify_all()
+
+    def run(self) -> None:  # pragma: no cover - exercised via threaded tests
+        while True:
+            with self._cond:
+                while not self._buffer and not self._stopping:
+                    self._cond.wait()
+                if not self._buffer and self._stopping:
+                    return
+                chunk = list(self._buffer)
+                self._buffer.clear()
+                self._busy = True
+            try:
+                for item, trace_ctx in chunk:
+                    if isinstance(item, list):
+                        self.shard.process_batch(item, trace_ctx=trace_ctx)
+                    else:
+                        self.shard.process_event(item, trace_ctx=trace_ctx)
+            except BaseException as exc:
+                with self._cond:
+                    self.error = exc
+                    self._busy = False
+                    self._buffer.clear()
+                    self._cond.notify_all()
+                return
+            with self._cond:
+                self._busy = False
+                self._cond.notify_all()
+
+    def wait_idle(self) -> None:
+        """Block until the buffer is empty and no chunk is being processed."""
+        with self._cond:
+            while (self._buffer or self._busy) and self.error is None:
+                self._cond.wait()
+            if self.error is not None:
+                raise ShardWorkerError(
+                    f"shard {self.shard.shard_id} worker failed"
+                ) from self.error
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        self.join()
+
+
+class ThreadBackend:
+    """``drain_mode="thread"``: one daemon worker thread per shard."""
+
+    kind = "thread"
+
+    def __init__(self, shards: Sequence[ShardEngine]) -> None:
+        self.shards = list(shards)
+        self.workers = [_ShardWorker(shard) for shard in self.shards]
+        for worker in self.workers:
+            worker.start()
+
+    def host(self, shard_id: int, entry: RegisteredQuery):
+        return self.shards[shard_id].host(entry)
+
+    def retire(self, shard_id: int, query_id: str):
+        shard = self.shards[shard_id]
+        return shard.retire_plan(query_id), shard.consumes
+
+    def dispatch(self, shard_id, item, trace_ctx=None, watermark=0.0) -> None:
+        self.workers[shard_id].enqueue(item, trace_ctx)
+
+    def barrier(self) -> None:
+        for worker in self.workers:
+            worker.wait_idle()
+
+    def barrier_shard(self, shard_id: int) -> None:
+        self.workers[shard_id].wait_idle()
+
+    def metrics(self, shard_id: int) -> MetricsReport:
+        return self.shards[shard_id].metrics()
+
+    def attach_tracer(self, tracer) -> None:
+        for shard in self.shards:
+            shard.attach_tracer(tracer)
+
+    def worker_liveness(self) -> Dict[int, int]:
+        return {
+            worker.shard.shard_id: int(worker.is_alive() and worker.error is None)
+            for worker in self.workers
+        }
+
+    def worker_restarts(self) -> Dict[int, int]:
+        return {shard.shard_id: 0 for shard in self.shards}
+
+    def add_feedback_delta_listener(self, listener) -> None:
+        pass
+
+    def close(self) -> None:
+        """Stop every worker; re-raise the first stored failure afterwards.
+
+        A worker that died mid-run poisons ``enqueue``/``wait_idle``, but a
+        caller that never flushes after its last submit would otherwise exit
+        cleanly with truncated results — so the first stored worker error is
+        surfaced here after every thread has been joined.
+        """
+        error: Optional[BaseException] = None
+        for worker in self.workers:
+            worker.stop()
+            if error is None and worker.error is not None:
+                error = ShardWorkerError(
+                    f"shard {worker.shard.shard_id} worker failed"
+                )
+                error.__cause__ = worker.error
+        if error is not None:
+            raise error
+
+
+# ----------------------------------------------------------------- process
+
+
+@dataclass(frozen=True)
+class _ShardSpec:
+    """Everything a worker process needs to build its ShardEngine."""
+
+    shard_id: int
+    scheduler: Union[str, Callable[[], object]]
+    ready_strategy: str
+    scheduler_strategy: Optional[str]
+    share_subplans: bool
+
+
+@dataclass
+class RemotePlanRuntime:
+    """The parent-side mirror of one query hosted on a worker process.
+
+    Quacks like a :class:`~repro.multi.shard.PlanRuntime` for everything the
+    serving layer reads — ``registered``, ``shard_id``, ``collector``,
+    ``set_result_sink`` — but its ``plan`` and ``context`` are ``None``: the
+    live operator graph exists only in the worker.  Result tuples shipped
+    back on acknowledgements are delivered through the installed sink in
+    emission order, so mirror collectors hold bit-identical sequences to a
+    synchronous run's.
+    """
+
+    registered: RegisteredQuery
+    shard_id: int
+    collector: ResultCollector
+    plan: Optional[object] = None
+    context: Optional[object] = None
+    shared: Optional[object] = None
+    templates: Tuple = ()
+    _sink: Optional[Callable] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self._sink is None:
+            self._sink = self.collector.add
+
+    @property
+    def query_id(self) -> str:
+        return self.registered.query_id
+
+    def set_result_sink(self, sink) -> None:
+        """Install the callable receiving this query's shipped results."""
+        self._sink = sink
+
+    def _deliver(self, tup) -> None:
+        self._sink(tup)
+
+    def __repr__(self) -> str:
+        return (
+            f"RemotePlanRuntime({self.query_id!r}, shard={self.shard_id}, "
+            f"results={self.collector.count})"
+        )
+
+
+class _SchedulerSnapshot:
+    """A remote scheduler's last shipped stats, shaped like a scheduler."""
+
+    def __init__(self, handle: "_WorkerHandle") -> None:
+        self._handle = handle
+
+    def stats(self) -> Dict[str, float]:
+        return dict(self._handle.snapshot.get("scheduler_stats", {}))
+
+
+class _CostSnapshot:
+    """A remote cost model's last shipped counters, shaped like a CostModel."""
+
+    def __init__(self, handle: "_WorkerHandle") -> None:
+        self._handle = handle
+
+    def count(self, kind: str) -> int:
+        return int(self._handle.snapshot.get("cost_counters", {}).get(kind, 0))
+
+
+class ProcessShardProxy:
+    """The parent-side face of one worker process's shard.
+
+    Exposes the read surface :class:`~repro.serve.server.StreamServer` and
+    the benchmarks sample on a local :class:`ShardEngine` — queue depth,
+    events processed, sharing counters, cost/scheduler stats, ``metrics()``
+    — backed by the worker's last shipped telemetry snapshot plus the live
+    in-flight count (events dispatched but not yet acknowledged).
+    """
+
+    def __init__(self, handle: "_WorkerHandle") -> None:
+        self._handle = handle
+        self.shard_id = handle.shard_id
+        self.scheduler = _SchedulerSnapshot(handle)
+        self.cost = _CostSnapshot(handle)
+
+    @property
+    def queue_depth(self) -> int:
+        """Worker-reported inter-operator depth plus unacknowledged events."""
+        snap = self._handle.snapshot
+        return int(snap.get("queue_depth", 0)) + self._handle.in_flight
+
+    @property
+    def queue_count(self) -> int:
+        return int(self._handle.snapshot.get("queue_count", 0))
+
+    @property
+    def events_processed(self) -> int:
+        return int(self._handle.snapshot.get("events_processed", 0))
+
+    @property
+    def results_produced(self) -> int:
+        return int(self._handle.snapshot.get("results_produced", 0))
+
+    @property
+    def shared_subplans_active(self) -> int:
+        return int(self._handle.snapshot.get("shared_subplans_active", 0))
+
+    @property
+    def shared_subplan_hits(self) -> int:
+        return int(self._handle.snapshot.get("shared_subplan_hits", 0))
+
+    @property
+    def sources(self) -> Tuple[str, ...]:
+        return tuple(self._handle.snapshot.get("sources", ()))
+
+    def consumes(self, source: str) -> bool:
+        return source in self._handle.snapshot.get("sources", ())
+
+    def metrics(self) -> MetricsReport:
+        report = self._handle.snapshot.get("metrics")
+        if report is None:
+            return MetricsReport(cpu_units=0.0, peak_memory_bytes=0, wall_seconds=0.0)
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessShardProxy(id={self.shard_id}, alive={self._handle.alive}, "
+            f"in_flight={self._handle.in_flight})"
+        )
+
+
+def _empty_snapshot() -> Dict[str, object]:
+    return {
+        "queue_count": 0,
+        "queue_depth": 0,
+        "events_processed": 0,
+        "results_produced": 0,
+        "shared_subplans_active": 0,
+        "shared_subplan_hits": 0,
+        "sources": (),
+        "cost_counters": {},
+        "scheduler_stats": {},
+        "metrics": None,
+    }
+
+
+# -- the worker process side ------------------------------------------------
+
+
+class _WorkerState:
+    """Everything the worker loop mutates while serving commands."""
+
+    def __init__(self, spec: _ShardSpec) -> None:
+        self.spec = spec
+        self.clock = SharedVirtualClock()
+        self.shard = ShardEngine(
+            shard_id=spec.shard_id,
+            scheduler=make_scheduler(spec.scheduler),
+            clock=self.clock.view(f"shard-{spec.shard_id}"),
+            ready_strategy=spec.ready_strategy,
+            scheduler_strategy=spec.scheduler_strategy,
+            # The worker never retains result tuples: results ship to the
+            # parent's mirror collectors, which honour keep_results there.
+            keep_results=False,
+            share_subplans=spec.share_subplans,
+        )
+        self.tracer = None
+        #: Per-query result tuples produced since the last acknowledgement.
+        self.fresh_results: List[Tuple[str, object]] = []
+        self.events_since_ack = 0
+        self.suspensions_since_ack = 0
+        self.resumptions_since_ack = 0
+        self.mns_closed_shipped = 0
+        self._counted_contexts: set = set()
+
+    # feedback kinds that count as suspensions (mirrors the serving layer)
+    _SUSPENSION_KINDS = ("suspend", "mark")
+
+    def _count_feedback(self, producer, consumer, kind, feedback=None) -> None:
+        if kind in self._SUSPENSION_KINDS:
+            self.suspensions_since_ack += 1
+        else:
+            self.resumptions_since_ack += 1
+
+    def _watch_context(self, context) -> None:
+        if id(context) in self._counted_contexts:
+            return
+        self._counted_contexts.add(id(context))
+        context.add_feedback_listener(self._count_feedback)
+
+    def host(self, entry: RegisteredQuery) -> None:
+        runtime = self.shard.host(entry)
+        query_id = entry.query_id
+        collector = runtime.collector
+        fresh = self.fresh_results
+
+        def sink(tup, _qid=query_id, _add=collector.add, _out=fresh) -> None:
+            _add(tup)
+            _out.append((_qid, tup))
+
+        runtime.set_result_sink(sink)
+        self._watch_context(runtime.context)
+        for shared in self.shard.shared_subplans():
+            self._watch_context(shared.context)
+
+    def retire(self, query_id: str) -> Dict[str, bool]:
+        retired = self.shard.retire_plan(query_id)
+        return {
+            source: self.shard.consumes(source)
+            for source in retired.registered.sources
+        }
+
+    def process(self, item, trace_ctx, watermark: float) -> int:
+        self.clock.observe(watermark)
+        if isinstance(item, list):
+            self.shard.process_batch(item, trace_ctx=trace_ctx)
+            return len(item)
+        self.shard.process_event(item, trace_ctx=trace_ctx)
+        return 1
+
+    def attach_tracer(self, spec: Dict[str, object]) -> None:
+        # Imported lazily: the trace layer is optional on the hot path.
+        from repro.trace import Tracer
+
+        tracer = Tracer(
+            sample_rate=float(spec["sample_rate"]),
+            capacity=int(spec["capacity"]),
+            seed=int(spec["seed"]),
+            enabled=bool(spec["enabled"]),
+        )
+        # Workers share the parent's epoch so merged span timelines align
+        # (perf_counter is the system-wide monotonic clock under fork).
+        tracer._epoch = spec["epoch"]
+        self.tracer = tracer
+        self.shard.attach_tracer(tracer)
+
+    def take_ack(self) -> Tuple[int, List[Tuple[str, object]], int, int]:
+        payload = (
+            self.events_since_ack,
+            self.fresh_results[:],
+            self.suspensions_since_ack,
+            self.resumptions_since_ack,
+        )
+        self.events_since_ack = 0
+        self.fresh_results.clear()
+        self.suspensions_since_ack = 0
+        self.resumptions_since_ack = 0
+        return payload
+
+    def snapshot(self) -> Dict[str, object]:
+        shard = self.shard
+        return {
+            "queue_count": shard.queue_count,
+            "queue_depth": shard.queue_depth,
+            "events_processed": shard.events_processed,
+            "results_produced": shard.results_produced,
+            "shared_subplans_active": shard.shared_subplans_active,
+            "shared_subplan_hits": shard.shared_subplan_hits,
+            "sources": shard.sources,
+            "cost_counters": shard.cost.snapshot(),
+            "scheduler_stats": dict(shard.scheduler.stats()),
+            "metrics": shard.metrics(),
+        }
+
+    def take_trace(self):
+        """Spans/profiles recorded since the last shipment (None untraced)."""
+        tracer = self.tracer
+        if tracer is None:
+            return None
+        spans = tracer.ring.snapshot()
+        tracer.ring.clear()
+        profiles = {key: dict(prof) for key, prof in tracer.profiles.items()}
+        tracer.profiles.clear()
+        closed = tracer.mns_pairs_closed - self.mns_closed_shipped
+        self.mns_closed_shipped = tracer.mns_pairs_closed
+        return (spans, profiles, closed)
+
+
+def _worker_main(spec: _ShardSpec, conn) -> None:  # pragma: no cover - child
+    """Entry point of one shard worker process."""
+    shutdown = {"flag": False, "reason": "close"}
+
+    def _on_sigterm(signum, frame) -> None:
+        shutdown["flag"] = True
+        shutdown["reason"] = "sigterm"
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+    try:
+        state = _WorkerState(spec)
+        conn.send(("ready", state.snapshot()))
+        while True:
+            # Poll with a timeout so a SIGTERM between commands is noticed;
+            # ship any coalesced acknowledgement while the pipe is idle.
+            if shutdown["flag"]:
+                break
+            if not conn.poll(0.05):
+                if state.events_since_ack or state.fresh_results:
+                    conn.send(("ack",) + state.take_ack())
+                continue
+            try:
+                msg = conn.recv()
+            except EOFError:
+                shutdown["reason"] = "eof"
+                break
+            op = msg[0]
+            if op == "evt":
+                state.events_since_ack += state.process(msg[1], msg[2], msg[3])
+            elif op == "batch":
+                state.events_since_ack += state.process(msg[1], msg[2], msg[3])
+            elif op == "flush":
+                conn.send(("ack",) + state.take_ack())
+                conn.send(("flushed", msg[1], state.snapshot(), state.take_trace()))
+            elif op == "host":
+                state.host(msg[1])
+                conn.send(("hosted", msg[1].query_id, state.snapshot()))
+            elif op == "retire":
+                consumes = state.retire(msg[1])
+                conn.send(("ack",) + state.take_ack())
+                conn.send(("retired", msg[1], consumes, state.snapshot()))
+            elif op == "tracer":
+                state.attach_tracer(msg[1])
+            elif op == "close":
+                break
+            else:
+                raise ValueError(f"unknown worker command {op!r}")
+        # Graceful exit: drain commands already in the pipe, ship the final
+        # coalesced ack, and say goodbye so the parent can tell a clean exit
+        # from a crash.
+        while conn.poll(0):
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            if msg[0] in ("evt", "batch"):
+                state.events_since_ack += state.process(msg[1], msg[2], msg[3])
+            elif msg[0] == "flush":
+                conn.send(("ack",) + state.take_ack())
+                conn.send(("flushed", msg[1], state.snapshot(), state.take_trace()))
+        if state.events_since_ack or state.fresh_results:
+            conn.send(("ack",) + state.take_ack())
+        conn.send(("bye", shutdown["reason"]))
+    except BaseException:
+        try:
+            conn.send(("err", spec.shard_id, traceback.format_exc()))
+        except (OSError, ValueError):
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# -- the parent side --------------------------------------------------------
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one worker process."""
+
+    def __init__(self, backend: "ProcessBackend", shard_id: int) -> None:
+        self.backend = backend
+        self.shard_id = shard_id
+        self.cond = threading.Condition()
+        self.in_flight = 0
+        self.snapshot: Dict[str, object] = _empty_snapshot()
+        self.alive = False
+        self.graceful_exit: Optional[str] = None
+        self.error: Optional[ShardWorkerError] = None
+        self.replies: Dict[object, Tuple] = {}
+        self.ready = False
+        self.proc = None
+        self.conn = None
+        self.reader: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def spawn(self) -> None:
+        ctx = self.backend.mp_context
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(self.backend.spec_for(self.shard_id), child_conn),
+            name=f"shard-{self.shard_id}",
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+        self.alive = True
+        self.graceful_exit = None
+        self.error = None
+        self.ready = False
+        self.in_flight = 0
+        self.reader = threading.Thread(
+            target=self._read_loop, name=f"shard-{self.shard_id}-reader", daemon=True
+        )
+        self.reader.start()
+        self.wait_ready()
+
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        with self.cond:
+            self.cond.wait_for(
+                lambda: self.ready or self.error is not None or not self.alive,
+                timeout=timeout,
+            )
+            self._raise_if_failed()
+            if not self.ready:
+                raise ShardWorkerError(
+                    f"shard {self.shard_id} worker did not come up within {timeout}s"
+                )
+
+    # -- receiving ----------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                msg = self.conn.recv()
+                if not self._on_message(msg):
+                    break
+        except (EOFError, OSError):
+            with self.cond:
+                if self.graceful_exit is None and self.error is None:
+                    self.error = ShardWorkerError(
+                        f"shard {self.shard_id} worker connection lost "
+                        "(process crashed or was killed)"
+                    )
+        finally:
+            with self.cond:
+                self.alive = False
+                self.cond.notify_all()
+
+    def _on_message(self, msg: Tuple) -> bool:
+        op = msg[0]
+        if op == "ack":
+            _, n_events, results, susp, res = msg
+            self.backend.deliver_results(results)
+            if susp or res:
+                self.backend.fire_feedback_deltas(self.shard_id, susp, res)
+            with self.cond:
+                self.in_flight = max(0, self.in_flight - n_events)
+                self.cond.notify_all()
+            return True
+        if op == "flushed":
+            _, token, snapshot, trace_payload = msg
+            if trace_payload is not None:
+                self.backend.merge_trace(self.shard_id, trace_payload)
+            with self.cond:
+                self.snapshot = snapshot
+                self.replies[token] = msg
+                self.cond.notify_all()
+            return True
+        if op in ("hosted", "retired", "ready"):
+            with self.cond:
+                self.snapshot = msg[-1]
+                if op == "ready":
+                    self.ready = True
+                else:
+                    self.replies[(op, msg[1])] = msg
+                self.cond.notify_all()
+            return True
+        if op == "err":
+            with self.cond:
+                self.error = ShardWorkerError(
+                    f"shard {self.shard_id} worker failed:\n{msg[2]}"
+                )
+                self.cond.notify_all()
+            return False
+        if op == "bye":
+            with self.cond:
+                self.graceful_exit = msg[1]
+                self.cond.notify_all()
+            return False
+        return True
+
+    # -- sending ------------------------------------------------------------
+
+    def _raise_if_failed(self) -> None:
+        if self.error is not None:
+            raise self.error
+        if self.graceful_exit is not None or not self.alive:
+            raise ShardWorkerError(
+                f"shard {self.shard_id} worker is not running "
+                f"(exit: {self.graceful_exit or 'not started'})"
+            )
+
+    def send(self, msg: Tuple, events: int = 0) -> None:
+        with self.cond:
+            self._raise_if_failed()
+            self.in_flight += events
+        try:
+            self.conn.send(msg)
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            with self.cond:
+                if self.error is None and self.graceful_exit is None:
+                    self.error = ShardWorkerError(
+                        f"shard {self.shard_id} worker pipe closed mid-send"
+                    )
+                    self.error.__cause__ = exc
+                self.in_flight -= events
+            raise self.error from exc
+
+    def request(self, msg: Tuple, reply_key) -> Tuple:
+        """Send a command and block for its tagged reply."""
+        self.send(msg)
+        with self.cond:
+            self.cond.wait_for(
+                lambda: reply_key in self.replies
+                or self.error is not None
+                or (not self.alive and reply_key not in self.replies)
+            )
+            if reply_key in self.replies:
+                return self.replies.pop(reply_key)
+            self._raise_if_failed()
+            raise ShardWorkerError(
+                f"shard {self.shard_id} worker exited before replying"
+            )
+
+    def barrier(self) -> None:
+        token = self.backend.next_token()
+        reply = self.request(("flush", token), token)
+        # A barrier also waits out the in-flight count: the coalesced ack
+        # always precedes the flushed reply on the pipe, so by now it is 0
+        # unless an err raced in.
+        del reply
+
+    # -- teardown -----------------------------------------------------------
+
+    def shutdown(self, timeout: float = 10.0) -> Optional[ShardWorkerError]:
+        """Ask the worker to exit; join it; return (not raise) any failure."""
+        if self.proc is None:
+            return None
+        if self.alive and self.error is None and self.graceful_exit is None:
+            try:
+                self.conn.send(("close",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        self.proc.join(timeout)
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout)
+        if self.reader is not None:
+            self.reader.join(timeout)
+        with self.cond:
+            self.alive = False
+        return self.error
+
+    def is_alive(self) -> bool:
+        return bool(
+            self.alive
+            and self.error is None
+            and self.proc is not None
+            and self.proc.is_alive()
+        )
+
+
+class ProcessBackend:
+    """``drain_mode="process"``: one worker process per shard.
+
+    Workers are forked at construction (falling back to the platform's
+    default start method where fork is unavailable), fed pickled commands
+    over duplex pipes, and read by one parent reader thread each.  Shipped
+    result tuples are delivered to the mirror runtimes' sinks in emission
+    order; telemetry snapshots refresh at every host/retire/flush barrier.
+    """
+
+    kind = "process"
+
+    def __init__(
+        self,
+        n_shards: int,
+        scheduler: Union[str, Callable[[], object]],
+        ready_strategy: str,
+        scheduler_strategy: Optional[str],
+        share_subplans: bool,
+        keep_results: bool = True,
+    ) -> None:
+        methods = _mp.get_all_start_methods()
+        self.mp_context = _mp.get_context("fork" if "fork" in methods else None)
+        self._scheduler = scheduler
+        self._ready_strategy = ready_strategy
+        self._scheduler_strategy = scheduler_strategy
+        self._share_subplans = share_subplans
+        self._keep_results = keep_results
+        self._token_lock = threading.Lock()
+        self._next_token = 0
+        self._merge_lock = threading.Lock()
+        self._runtimes: Dict[str, RemotePlanRuntime] = {}
+        #: Hosting order per shard — replayed on restart_worker.
+        self._hosted: Dict[int, List[RegisteredQuery]] = {
+            shard_id: [] for shard_id in range(n_shards)
+        }
+        self._restarts: Dict[int, int] = {shard_id: 0 for shard_id in range(n_shards)}
+        self._feedback_listeners: List[Callable[[int, int, int], None]] = []
+        self.tracer = None
+        self.handles = [_WorkerHandle(self, shard_id) for shard_id in range(n_shards)]
+        self.proxies = [ProcessShardProxy(handle) for handle in self.handles]
+        spawned = []
+        try:
+            for handle in self.handles:
+                handle.spawn()
+                spawned.append(handle)
+        except BaseException:
+            for handle in spawned:
+                handle.shutdown()
+            raise
+
+    # -- plumbing used by handles -------------------------------------------
+
+    def spec_for(self, shard_id: int) -> _ShardSpec:
+        return _ShardSpec(
+            shard_id=shard_id,
+            scheduler=self._scheduler,
+            ready_strategy=self._ready_strategy,
+            scheduler_strategy=self._scheduler_strategy,
+            share_subplans=self._share_subplans,
+        )
+
+    def next_token(self) -> Tuple[str, int]:
+        with self._token_lock:
+            self._next_token += 1
+            return ("barrier", self._next_token)
+
+    def deliver_results(self, results: List[Tuple[str, object]]) -> None:
+        for query_id, tup in results:
+            runtime = self._runtimes.get(query_id)
+            if runtime is not None:
+                runtime._deliver(tup)
+
+    def fire_feedback_deltas(self, shard_id: int, susp: int, res: int) -> None:
+        for listener in self._feedback_listeners:
+            listener(shard_id, susp, res)
+
+    def merge_trace(self, shard_id: int, payload) -> None:
+        tracer = self.tracer
+        if tracer is None:
+            return
+        spans, profiles, mns_closed = payload
+        with self._merge_lock:
+            tracer.merge_worker(
+                f"w{shard_id}", spans, profiles=profiles, mns_pairs_closed=mns_closed
+            )
+
+    # -- the backend interface ----------------------------------------------
+
+    def host(self, shard_id: int, entry: RegisteredQuery) -> RemotePlanRuntime:
+        self._send_host(shard_id, entry)
+        self._hosted[shard_id].append(entry)
+        runtime = RemotePlanRuntime(
+            registered=entry,
+            shard_id=shard_id,
+            collector=ResultCollector(keep_tuples=self._keep_results),
+        )
+        self._runtimes[entry.query_id] = runtime
+        return runtime
+
+    def _send_host(self, shard_id: int, entry: RegisteredQuery) -> None:
+        try:
+            self.handles[shard_id].request(("host", entry), ("hosted", entry.query_id))
+        except ShardWorkerError:
+            raise
+        except Exception as exc:
+            raise ShardWorkerError(
+                f"could not ship query {entry.query_id!r} to shard {shard_id}: "
+                f"{exc} (process mode needs picklable registrations; see "
+                "tests/test_pickle_safety.py)"
+            ) from exc
+
+    def retire(self, shard_id: int, query_id: str):
+        reply = self.handles[shard_id].request(
+            ("retire", query_id), ("retired", query_id)
+        )
+        consumes_map: Dict[str, bool] = reply[2]
+        runtime = self._runtimes.pop(query_id)
+        self._hosted[shard_id] = [
+            entry for entry in self._hosted[shard_id] if entry.query_id != query_id
+        ]
+        return runtime, lambda source: consumes_map.get(source, False)
+
+    def dispatch(self, shard_id, item, trace_ctx=None, watermark=0.0) -> None:
+        if isinstance(item, list):
+            self.handles[shard_id].send(
+                ("batch", item, trace_ctx, watermark), events=len(item)
+            )
+        else:
+            self.handles[shard_id].send(
+                ("evt", item, trace_ctx, watermark), events=1
+            )
+
+    def barrier(self) -> None:
+        for handle in self.handles:
+            handle.barrier()
+
+    def barrier_shard(self, shard_id: int) -> None:
+        self.handles[shard_id].barrier()
+
+    def metrics(self, shard_id: int) -> MetricsReport:
+        return self.proxies[shard_id].metrics()
+
+    def attach_tracer(self, tracer) -> None:
+        self.tracer = tracer
+        spec = {
+            "sample_rate": tracer.sample_rate,
+            "capacity": tracer.ring.capacity,
+            "seed": tracer.seed,
+            "enabled": tracer.enabled,
+            "epoch": tracer._epoch,
+        }
+        for handle in self.handles:
+            handle.send(("tracer", spec))
+
+    def worker_liveness(self) -> Dict[int, int]:
+        return {handle.shard_id: int(handle.is_alive()) for handle in self.handles}
+
+    def worker_restarts(self) -> Dict[int, int]:
+        return dict(self._restarts)
+
+    def add_feedback_delta_listener(
+        self, listener: Callable[[int, int, int], None]
+    ) -> None:
+        """Register ``listener(shard_id, suspensions, resumptions)`` for the
+        feedback/MNS deltas workers ship with their acknowledgements."""
+        self._feedback_listeners.append(listener)
+
+    def restart_worker(self, shard_id: int) -> None:
+        """Respawn one worker and re-host its queries.
+
+        Serving availability, not state recovery: the replacement starts
+        with empty windows, so results already collected stay intact but
+        joins spanning the crash are lost.  Counted by the
+        ``serve_shard_worker_restarts_total`` telemetry family.
+        """
+        handle = self.handles[shard_id]
+        handle.shutdown()
+        handle.spawn()
+        if self.tracer is not None:
+            handle.send(
+                (
+                    "tracer",
+                    {
+                        "sample_rate": self.tracer.sample_rate,
+                        "capacity": self.tracer.ring.capacity,
+                        "seed": self.tracer.seed,
+                        "enabled": self.tracer.enabled,
+                        "epoch": self.tracer._epoch,
+                    },
+                )
+            )
+        for entry in self._hosted[shard_id]:
+            self._send_host(shard_id, entry)
+        self._restarts[shard_id] += 1
+
+    def close(self) -> None:
+        error: Optional[ShardWorkerError] = None
+        for handle in self.handles:
+            failure = handle.shutdown()
+            if error is None and failure is not None:
+                error = failure
+        if error is not None:
+            raise error

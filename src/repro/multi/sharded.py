@@ -17,41 +17,62 @@ drivers remain as conveniences built on the push API, so
 :func:`~repro.engine.engine.run_workload` can drive a sharded engine through
 the same entry point as a single-plan engine.
 
-Two drain modes:
+**How** the receiving shards are driven is a separate axis, the
+``drain_mode``, implemented by the worker backends in
+:mod:`repro.multi.backend`:
 
-* **Synchronous** (default): ``submit`` drains each receiving shard before
-  returning.  Fully deterministic — the mode the equivalence tests run.
-* **Thread-per-shard** (``threaded=True``): each shard owns a worker thread
-  with an ingestion buffer; ``submit`` enqueues and returns, shards drain
-  concurrently, and :meth:`flush` is the barrier.  Each shard still
-  processes its own events in arrival order, and plans never span shards,
-  so per-query results are identical to the synchronous mode (asserted by
-  the test suite) — threading changes *when* work happens, never *what* is
-  computed.
+* ``"sync"`` (default, :class:`~repro.multi.backend.InlineBackend`):
+  ``submit`` drains each receiving shard before returning.  Fully
+  deterministic — the mode the equivalence tests anchor on.
+* ``"thread"`` (:class:`~repro.multi.backend.ThreadBackend`, the legacy
+  ``threaded=True``): each shard owns a worker thread with an ingestion
+  buffer; ``submit`` enqueues and returns, shards drain concurrently, and
+  :meth:`flush` is the barrier.  GIL-bound — isolation, not CPU scale-out.
+* ``"process"`` (:class:`~repro.multi.backend.ProcessBackend`): each shard
+  runs in a worker *process* fed pickled event micro-batches over a pipe,
+  with results, feedback stats, telemetry snapshots and trace spans
+  demultiplexed back to the parent.  The mode that scales with cores; see
+  ``docs/SCALING.md``.
+
+Every mode preserves the invariant that makes per-query results
+bit-identical across all three: each shard processes its own feed in
+arrival order and plans never span shards, so a backend changes *when* and
+*where* work happens, never *what* is computed (asserted by the test
+suite under all four scheduler policies).
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import groupby
 from operator import attrgetter
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.engine import ReadyStrategy
 from repro.engine.results import ResultCollector
 from repro.metrics import MetricsReport
+from repro.multi.backend import (
+    InlineBackend,
+    ProcessBackend,
+    ShardWorkerError,
+    ThreadBackend,
+    make_scheduler,
+    resolve_drain_mode,
+)
 from repro.multi.clock import SharedVirtualClock
 from repro.multi.partition import resolve_partitioner
 from repro.multi.registry import QueryRegistry
 from repro.multi.router import StreamRouter
 from repro.multi.shard import PlanRuntime, ShardEngine
-from repro.scheduler import OperatorScheduler, build_scheduler
+from repro.scheduler import OperatorScheduler
 from repro.streams.sources import StreamEvent
 
 __all__ = ["QueryReport", "MultiRunReport", "ShardedEngine"]
+
+#: ``drain_mode`` -> label used in reports and reprs.
+_MODE_LABELS = {"sync": "sync", "thread": "threaded", "process": "process"}
 
 
 @dataclass
@@ -81,6 +102,17 @@ class MultiRunReport:
     shard_metrics: Tuple[MetricsReport, ...]
     wall_seconds: float = 0.0
     dropped_events: int = 0
+    #: The drain mode that produced this report ("" on reports built by
+    #: callers predating the backend abstraction; ``mode`` falls back to
+    #: the legacy ``threaded`` flag then).
+    drain_mode: str = ""
+
+    @property
+    def mode(self) -> str:
+        """Human-readable drain-mode label."""
+        if self.drain_mode:
+            return _MODE_LABELS.get(self.drain_mode, self.drain_mode)
+        return "threaded" if self.threaded else "sync"
 
     @property
     def total_results(self) -> int:
@@ -107,97 +139,12 @@ class MultiRunReport:
 
     def summary(self) -> str:
         """One-line summary used by examples and benchmarks."""
-        mode = "threaded" if self.threaded else "sync"
         return (
-            f"{self.n_queries} queries / {self.n_shards} shard(s) [{mode}]: "
+            f"{self.n_queries} queries / {self.n_shards} shard(s) [{self.mode}]: "
             f"{self.events_ingested} arrivals -> {self.total_results} results, "
             f"cpu={self.cpu_units:.0f} units, peak_mem={self.peak_memory_kb:.1f} KB, "
             f"wall={self.wall_seconds:.3f}s"
         )
-
-
-class _ShardWorker(threading.Thread):
-    """Worker thread draining one shard's ingestion buffer.
-
-    The router enqueues events (or same-timestamp batches) in arrival order;
-    the worker grabs the whole buffer under the lock and processes it
-    outside, so lock traffic is amortized over bursts rather than paid per
-    event.  A failure poisons the worker: the error is re-raised on the next
-    ``enqueue``/``wait_idle`` so ingestion never silently loses events.
-    """
-
-    def __init__(self, shard: ShardEngine) -> None:
-        super().__init__(name=f"shard-{shard.shard_id}", daemon=True)
-        self.shard = shard
-        self._cond = threading.Condition()
-        #: Buffered (event-or-batch, trace context) pairs.  The trace context
-        #: travels with the item across the thread boundary so the worker can
-        #: re-activate it — head-based sampling decided at ingestion must
-        #: hold on the draining thread (``None`` when no tracer is attached).
-        self._buffer: Deque[
-            Tuple[Union[StreamEvent, List[StreamEvent]], Optional[object]]
-        ] = deque()
-        self._busy = False
-        self._stopping = False
-        self.error: Optional[BaseException] = None
-
-    def enqueue(
-        self,
-        item: Union[StreamEvent, List[StreamEvent]],
-        trace_ctx: Optional[object] = None,
-    ) -> None:
-        with self._cond:
-            if self.error is not None:
-                raise RuntimeError(
-                    f"shard {self.shard.shard_id} worker already failed"
-                ) from self.error
-            if self._stopping:
-                raise RuntimeError(f"shard {self.shard.shard_id} worker is stopped")
-            self._buffer.append((item, trace_ctx))
-            self._cond.notify_all()
-
-    def run(self) -> None:  # pragma: no cover - exercised via threaded tests
-        while True:
-            with self._cond:
-                while not self._buffer and not self._stopping:
-                    self._cond.wait()
-                if not self._buffer and self._stopping:
-                    return
-                chunk = list(self._buffer)
-                self._buffer.clear()
-                self._busy = True
-            try:
-                for item, trace_ctx in chunk:
-                    if isinstance(item, list):
-                        self.shard.process_batch(item, trace_ctx=trace_ctx)
-                    else:
-                        self.shard.process_event(item, trace_ctx=trace_ctx)
-            except BaseException as exc:
-                with self._cond:
-                    self.error = exc
-                    self._busy = False
-                    self._buffer.clear()
-                    self._cond.notify_all()
-                return
-            with self._cond:
-                self._busy = False
-                self._cond.notify_all()
-
-    def wait_idle(self) -> None:
-        """Block until the buffer is empty and no chunk is being processed."""
-        with self._cond:
-            while (self._buffer or self._busy) and self.error is None:
-                self._cond.wait()
-            if self.error is not None:
-                raise RuntimeError(
-                    f"shard {self.shard.shard_id} worker failed"
-                ) from self.error
-
-    def stop(self) -> None:
-        with self._cond:
-            self._stopping = True
-            self._cond.notify_all()
-        self.join()
 
 
 class ShardedEngine:
@@ -224,7 +171,12 @@ class ShardedEngine:
     keep_results:
         Whether per-query collectors retain result tuples.
     threaded:
-        Opt into the thread-per-shard drain mode.
+        Legacy alias for ``drain_mode="thread"`` (kept for callers predating
+        the backend abstraction; conflicts with an explicit other mode).
+    drain_mode:
+        How shards are driven: ``"sync"`` (inline), ``"thread"``
+        (thread-per-shard) or ``"process"`` (process-per-shard workers fed
+        over pipes).  ``None`` resolves from ``threaded``.
     partitioner:
         Query placement policy (callable or name, see
         :mod:`repro.multi.partition`).  With ``share_subplans`` and no
@@ -245,6 +197,7 @@ class ShardedEngine:
         scheduler_strategy: Optional[str] = None,
         keep_results: bool = True,
         threaded: bool = False,
+        drain_mode: Optional[str] = None,
         partitioner=None,
         share_subplans: bool = False,
     ) -> None:
@@ -252,24 +205,55 @@ class ShardedEngine:
             raise ValueError(f"need at least one shard, got {n_shards}")
         if len(registry) == 0:
             raise ValueError("the registry has no registered queries")
+        drain_mode = resolve_drain_mode(drain_mode, threaded)
         self.registry = registry
         self.n_shards = n_shards
-        self.threaded = threaded
+        self.drain_mode = drain_mode
+        #: Legacy flag, kept in sync with ``drain_mode`` for old callers.
+        self.threaded = drain_mode == "thread"
         self.share_subplans = share_subplans
         self.clock = SharedVirtualClock()
         self.router = StreamRouter()
-        self.shards: List[ShardEngine] = [
-            ShardEngine(
-                shard_id=index,
-                scheduler=self._make_scheduler(scheduler),
-                clock=self.clock.view(f"shard-{index}"),
-                ready_strategy=ready_strategy,
-                scheduler_strategy=scheduler_strategy,
+        if drain_mode == "process":
+            # Validate the policy/strategy arguments in the parent, where a
+            # bad value raises the same eager ValueError/TypeError the local
+            # modes produce (instead of a worker-startup ShardWorkerError).
+            make_scheduler(scheduler)
+            if ready_strategy not in ReadyStrategy.ALL:
+                raise ValueError(
+                    f"unknown ready strategy {ready_strategy!r}; "
+                    f"expected one of {ReadyStrategy.ALL}"
+                )
+            self._backend = ProcessBackend(
+                n_shards,
+                scheduler,
+                ready_strategy,
+                scheduler_strategy,
+                share_subplans,
                 keep_results=keep_results,
-                share_subplans=share_subplans,
             )
-            for index in range(n_shards)
-        ]
+            #: Process mode: parent-side proxies over worker-shipped
+            #: telemetry snapshots (the live ShardEngines exist only in the
+            #: workers); sync/thread: the local ShardEngines themselves.
+            self.shards = self._backend.proxies
+        else:
+            shards = [
+                ShardEngine(
+                    shard_id=index,
+                    scheduler=make_scheduler(scheduler),
+                    clock=self.clock.view(f"shard-{index}"),
+                    ready_strategy=ready_strategy,
+                    scheduler_strategy=scheduler_strategy,
+                    keep_results=keep_results,
+                    share_subplans=share_subplans,
+                )
+                for index in range(n_shards)
+            ]
+            self.shards = shards
+            if drain_mode == "thread":
+                self._backend = ThreadBackend(shards)
+            else:
+                self._backend = InlineBackend(shards)
         if partitioner is None and share_subplans:
             # Same-signature queries can only share when co-located.
             partitioner = "signature"
@@ -294,11 +278,6 @@ class ShardedEngine:
         self._closed = False
         #: Optional flight recorder (see :meth:`attach_tracer`).
         self.tracer = None
-        self._workers: List[_ShardWorker] = []
-        if threaded:
-            self._workers = [_ShardWorker(shard) for shard in self.shards]
-            for worker in self._workers:
-                worker.start()
 
     def attach_tracer(self, tracer) -> None:
         """Attach a :class:`~repro.trace.Tracer` to the whole engine.
@@ -307,11 +286,13 @@ class ShardedEngine:
         head-based sampling draw happens on the ingestion thread, so it is
         deterministic for a given workload and seed) and propagates the
         trace context with the event into every subscribed shard — across
-        the worker-thread boundary in the threaded mode.
+        the worker thread or process boundary in the buffered modes.  In
+        process mode each worker runs its own span ring on the parent's
+        epoch; its spans merge back (labelled with a worker id) at every
+        flush barrier, so one Chrome trace covers the whole fleet.
         """
         self.tracer = tracer
-        for shard in self.shards:
-            shard.attach_tracer(tracer)
+        self._backend.attach_tracer(tracer)
 
     def _host_entry(self, entry) -> PlanRuntime:
         """Place, host and route one registration (shared by init/add_query)."""
@@ -322,7 +303,7 @@ class ShardedEngine:
                 f"outside [0, {self.n_shards})"
             )
         self._placed += 1
-        runtime = self.shards[shard_id].host(entry)
+        runtime = self._backend.host(shard_id, entry)
         self._runtimes[entry.query_id] = runtime
         for source in entry.sources:
             self.router.subscribe(source, shard_id)
@@ -330,30 +311,17 @@ class ShardedEngine:
 
     @staticmethod
     def _make_scheduler(scheduler) -> OperatorScheduler:
-        if isinstance(scheduler, str):
-            return build_scheduler(scheduler)
-        if callable(scheduler):
-            made = scheduler()
-            if not isinstance(made, OperatorScheduler):
-                raise TypeError(
-                    f"scheduler factory returned {type(made).__name__}, "
-                    "expected an OperatorScheduler"
-                )
-            return made
-        raise TypeError(
-            "scheduler must be a policy name or a zero-argument factory; "
-            f"got {scheduler!r} (schedulers are stateful, so instances cannot "
-            "be shared across shards)"
-        )
+        """Deprecated alias of :func:`repro.multi.backend.make_scheduler`."""
+        return make_scheduler(scheduler)
 
     # -- push-based ingestion -------------------------------------------------
 
     def submit(self, event: StreamEvent) -> None:
         """Push one event into the engine.
 
-        Synchronous mode drains every receiving shard before returning;
-        threaded mode hands the event to the subscribed shard workers and
-        returns immediately (:meth:`flush` is the barrier).
+        Synchronous mode drains every receiving shard before returning; the
+        buffered modes hand the event to the subscribed shard workers and
+        return immediately (:meth:`flush` is the barrier).
         """
         self._check_open()
         self._flush_pending()
@@ -362,14 +330,16 @@ class ShardedEngine:
     def ingest_async(self, event: StreamEvent) -> None:
         """Push one event without waiting for its processing.
 
-        In threaded mode this is exactly :meth:`submit`.  In synchronous
-        mode, same-timestamp arrivals are micro-batched at the ingestion
-        boundary (the ``run_batch`` policy): the pending batch is processed
-        when the next timestamp begins or on :meth:`flush`, amortizing clock
-        advances and drain loops across the batch.
+        In thread mode this is exactly :meth:`submit` (the per-shard buffer
+        already decouples the submitter).  In sync and process modes,
+        same-timestamp arrivals are micro-batched at the ingestion boundary
+        (the ``run_batch`` policy): the pending batch is processed when the
+        next timestamp begins or on :meth:`flush`, amortizing clock advances
+        and drain loops — and, in process mode, pickling and pipe writes —
+        across the batch.
         """
         self._check_open()
-        if self.threaded:
+        if self.drain_mode == "thread":
             self._dispatch_event(event)
             return
         if self._pending and event.ts != self._pending_ts:
@@ -384,11 +354,16 @@ class ShardedEngine:
         self._dispatch_batch(list(events))
 
     def flush(self) -> None:
-        """Process buffered arrivals and wait until every shard is idle."""
+        """Process buffered arrivals and wait until every shard is idle.
+
+        The backend barrier: thread workers park at their idle condition;
+        process workers answer a flush round-trip whose reply carries fresh
+        telemetry snapshots (and buffered trace spans) — so after ``flush``
+        every result of every prior submit is in its collector, in order.
+        """
         self._check_open()
         self._flush_pending()
-        for worker in self._workers:
-            worker.wait_idle()
+        self._backend.barrier()
 
     # -- internal dispatch ----------------------------------------------------
 
@@ -413,23 +388,23 @@ class ShardedEngine:
         if not shard_ids:
             self.router.dropped_events += 1
             return
+        backend = self._backend
+        watermark = self.clock.watermark
         tracer = self.tracer
         if tracer is None or not tracer.enabled:
             # Hot path: a missing (or constructed-disabled) tracer costs the
             # dispatch exactly one extra attribute load and branch.
             for shard_id in shard_ids:
-                if self.threaded:
-                    self._workers[shard_id].enqueue(event)
-                else:
-                    self.shards[shard_id].process_event(event)
+                backend.dispatch(shard_id, event, None, watermark)
             return
         ctx = tracer.begin_trace(event, fanout=len(shard_ids))
         try:
+            # The context rides along explicitly: the inline backend ignores
+            # it (it is already active on this thread); thread and process
+            # workers re-activate it so the head-based sampling decision
+            # made at ingestion holds wherever the event is drained.
             for shard_id in shard_ids:
-                if self.threaded:
-                    self._workers[shard_id].enqueue(event, trace_ctx=ctx)
-                else:
-                    self.shards[shard_id].process_event(event)
+                backend.dispatch(shard_id, event, ctx, watermark)
         finally:
             tracer.end_trace(ctx)
 
@@ -454,23 +429,19 @@ class ShardedEngine:
                 per_shard.setdefault(shard_id, []).append(event)
         if not per_shard:
             return
+        backend = self._backend
+        watermark = self.clock.watermark
         # One trace covers the whole micro-batch (it shares one drain per
         # shard); the head-based draw still happens once, at ingestion.
         tracer = self.tracer
         if tracer is None or not tracer.enabled:
             for shard_id, shard_events in sorted(per_shard.items()):
-                if self.threaded:
-                    self._workers[shard_id].enqueue(shard_events)
-                else:
-                    self.shards[shard_id].process_batch(shard_events)
+                backend.dispatch(shard_id, shard_events, None, watermark)
             return
         ctx = tracer.begin_trace(events[0], fanout=len(per_shard))
         try:
             for shard_id, shard_events in sorted(per_shard.items()):
-                if self.threaded:
-                    self._workers[shard_id].enqueue(shard_events, trace_ctx=ctx)
-                else:
-                    self.shards[shard_id].process_batch(shard_events)
+                backend.dispatch(shard_id, shard_events, ctx, watermark)
         finally:
             tracer.end_trace(ctx)
 
@@ -507,39 +478,75 @@ class ShardedEngine:
         if entry.query_id in self._runtimes:
             raise ValueError(f"query {entry.query_id!r} is already hosted")
         self._flush_pending()
-        for worker in self._workers:
-            worker.wait_idle()
+        self._backend.barrier()
         return self._host_entry(entry)
 
     def retire_query(self, query_id: str) -> PlanRuntime:
         """Stop serving one registered query and return its archived runtime.
 
-        Buffered ingestion is flushed and — in the thread-per-shard mode —
-        the owning shard's worker is parked at its idle barrier before the
-        plan is unwired, so the retirement never races the drain loop
-        (shard state, including the scheduler, is only ever touched by one
-        thread at a time).  The router's subscription bookkeeping is
-        decremented too, so ``fair_shed`` weights and per-shard fan-out
-        track the live query population; events for sources no hosted query
-        consumes any more are counted as dropped instead of being routed to
-        a shard that would ignore them.  The query's results-so-far stay
-        readable on the returned runtime.
+        Buffered ingestion is flushed and the owning shard's worker is
+        parked at its idle barrier before the plan is unwired, so the
+        retirement never races the drain loop (shard state, including the
+        scheduler, is only ever touched by one thread at a time; on a
+        process worker the command pipe's FIFO order gives the same
+        guarantee).  The router's subscription bookkeeping is decremented
+        too, so ``fair_shed`` weights and per-shard fan-out track the live
+        query population; events for sources no hosted query consumes any
+        more are counted as dropped instead of being routed to a shard that
+        would ignore them.  The query's results-so-far stay readable on the
+        returned runtime.
         """
         self._check_open()
         runtime = self.runtime_for(query_id)
         self._flush_pending()
-        if self._workers:
-            self._workers[runtime.shard_id].wait_idle()
-        shard = self.shards[runtime.shard_id]
-        retired = shard.retire_plan(query_id)
+        self._backend.barrier_shard(runtime.shard_id)
+        retired, still_consumes = self._backend.retire(runtime.shard_id, query_id)
         del self._runtimes[query_id]
         for source in retired.registered.sources:
             self.router.unsubscribe(
                 source,
                 runtime.shard_id,
-                shard_still_subscribed=shard.consumes(source),
+                shard_still_subscribed=still_consumes(source),
             )
         return retired
+
+    # -- worker lifecycle (buffered backends) ----------------------------------
+
+    def worker_liveness(self) -> Dict[int, int]:
+        """Per-shard worker liveness (1 = running, 0 = exited/failed).
+
+        Inline shards are always 1: the submitting thread *is* the worker.
+        """
+        return self._backend.worker_liveness()
+
+    def worker_restarts(self) -> Dict[int, int]:
+        """Per-shard worker restarts performed by :meth:`restart_worker`."""
+        return self._backend.worker_restarts()
+
+    def restart_worker(self, shard_id: int) -> None:
+        """Respawn one process worker and re-host its queries (process mode).
+
+        Availability, not state recovery: results already collected stay
+        intact, but the replacement starts with empty windows.
+        """
+        restart = getattr(self._backend, "restart_worker", None)
+        if restart is None:
+            raise RuntimeError(
+                f"drain_mode={self.drain_mode!r} has no restartable workers; "
+                "worker restarts are a process-mode operation"
+            )
+        restart(shard_id)
+
+    def add_feedback_delta_listener(self, listener) -> None:
+        """Observe worker-shipped feedback deltas (process mode).
+
+        ``listener(shard_id, suspensions, resumptions)`` fires as process
+        workers acknowledge batches; the serving layer uses this to keep
+        ``serve_suspensions_total``/``serve_resumptions_total`` live when
+        the contexts producing the feedback are in other processes.  A no-op
+        on the local backends, whose contexts are observed directly.
+        """
+        self._backend.add_feedback_delta_listener(listener)
 
     # -- results and reporting ------------------------------------------------
 
@@ -557,7 +564,12 @@ class ShardedEngine:
         return self.runtime_for(query_id).collector
 
     def report(self, wall_seconds: float = 0.0) -> MultiRunReport:
-        """Snapshot an aggregated report over every query and shard."""
+        """Snapshot an aggregated report over every query and shard.
+
+        Process-mode metrics come from the workers' last shipped telemetry
+        snapshots, refreshed at every flush barrier — call :meth:`flush`
+        first for numbers that cover everything submitted.
+        """
         queries = {
             query_id: QueryReport(
                 query_id=query_id,
@@ -573,9 +585,12 @@ class ShardedEngine:
             threaded=self.threaded,
             events_ingested=self.events_ingested,
             queries=queries,
-            shard_metrics=tuple(shard.metrics() for shard in self.shards),
+            shard_metrics=tuple(
+                self._backend.metrics(index) for index in range(self.n_shards)
+            ),
             wall_seconds=wall_seconds,
             dropped_events=self.router.dropped_events,
+            drain_mode=self.drain_mode,
         )
 
     # -- lifecycle ------------------------------------------------------------
@@ -584,10 +599,12 @@ class ShardedEngine:
         """Flush buffered work, stop shard workers, and surface any worker
         failure (idempotent).
 
-        A worker that died mid-run poisons ``enqueue``/``wait_idle``, but a
-        caller that never flushes after its last submit would otherwise exit
+        A worker that died mid-run poisons the dispatch path, but a caller
+        that never flushes after its last submit would otherwise exit
         cleanly with truncated results — so ``close`` re-raises the first
-        stored worker error after joining every thread.
+        stored worker error (as a
+        :class:`~repro.multi.backend.ShardWorkerError` naming the shard)
+        after every worker thread has been joined or worker process reaped.
         """
         if self._closed:
             return
@@ -597,11 +614,11 @@ class ShardedEngine:
             self._flush_pending()
         except BaseException as exc:
             error = exc
-        for worker in self._workers:
-            worker.stop()
-            if error is None and worker.error is not None:
-                error = RuntimeError(f"shard {worker.shard.shard_id} worker failed")
-                error.__cause__ = worker.error
+        try:
+            self._backend.close()
+        except BaseException as exc:
+            if error is None:
+                error = exc
         if error is not None:
             raise error
 
@@ -620,8 +637,8 @@ class ShardedEngine:
         self.close()
 
     def __repr__(self) -> str:
-        mode = "threaded" if self.threaded else "sync"
         return (
             f"ShardedEngine({len(self._runtimes)} queries, {self.n_shards} "
-            f"shard(s), {mode}, ingested={self.events_ingested})"
+            f"shard(s), {_MODE_LABELS[self.drain_mode]}, "
+            f"ingested={self.events_ingested})"
         )

@@ -132,6 +132,16 @@ METRIC_DOC: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
         "Scheduler steps per processed event, per shard — the work-amplification "
         "ratio sub-plan sharing drives down.",
     ),
+    "serve_shard_worker_alive": (
+        "gauge", ("shard",),
+        "Shard worker liveness: 1 while the worker thread/process is running "
+        "and healthy (inline shards always read 1 — the submitter is the worker).",
+    ),
+    "serve_shard_worker_restarts_total": (
+        "gauge", ("shard",),
+        "Process workers respawned via restart_worker, per shard (0 for the "
+        "sync/thread drain modes).",
+    ),
     "serve_uptime_seconds": (
         "gauge", (), "Wall-clock seconds since the server was constructed."
     ),
@@ -312,6 +322,11 @@ class StreamServer:
         runtimes = getattr(self.engine, "_runtimes", None)
         if runtimes is not None:
             for runtime in runtimes.values():
+                if runtime.context is None:
+                    # Process-mode mirror: the live context is in the worker;
+                    # its feedback arrives as shipped deltas instead (see
+                    # _instrument_feedback).
+                    continue
                 yield str(runtime.shard_id), runtime.context
             for shard in self._shards:
                 shared_subplans = getattr(shard, "shared_subplans", None)
@@ -445,6 +460,18 @@ class StreamServer:
             },
         )
         registry.gauge(
+            "serve_shard_worker_alive",
+            METRIC_DOC["serve_shard_worker_alive"][2],
+            ("shard",),
+            callback=lambda: self._worker_stat("worker_liveness", default=1.0),
+        )
+        registry.gauge(
+            "serve_shard_worker_restarts_total",
+            METRIC_DOC["serve_shard_worker_restarts_total"][2],
+            ("shard",),
+            callback=lambda: self._worker_stat("worker_restarts", default=0.0),
+        )
+        registry.gauge(
             "serve_uptime_seconds",
             METRIC_DOC["serve_uptime_seconds"][2],
             callback=lambda: self.uptime_seconds,
@@ -475,6 +502,21 @@ class StreamServer:
         if self.tracer is None:
             return 0.0
         return float(self.tracer.stats()[key])
+
+    def _worker_stat(self, method: str, default: float) -> Dict[str, float]:
+        """Per-shard worker liveness/restarts from the wrapped engine.
+
+        Engines without worker lifecycle introspection (a bare
+        ``ExecutionEngine``) read the default for every shard: the
+        submitting thread is the worker, so it is alive by construction
+        and never restarted.
+        """
+        fn = getattr(self.engine, method, None)
+        if fn is None:
+            return {
+                str(index): default for index, _shard in enumerate(self._shards)
+            }
+        return {str(shard_id): float(value) for shard_id, value in fn().items()}
 
     @staticmethod
     def _shard_cost(shard):
@@ -530,6 +572,28 @@ class StreamServer:
                     _resume.inc()
 
             context.add_feedback_listener(listener)
+
+        # Process-mode workers count feedback in their own contexts and ship
+        # per-shard (suspensions, resumptions) deltas with every
+        # acknowledgement; each delivery is counted exactly once in exactly
+        # one place, so the totals match what direct listeners would see.
+        add_delta = getattr(self.engine, "add_feedback_delta_listener", None)
+        if add_delta is not None:
+            # Materialize the per-shard children up front so a shard that
+            # never suspends still renders a zero sample, exactly like the
+            # direct-listener wiring above does.
+            for index, _shard in enumerate(self._shards):
+                self._suspensions.labels(shard=str(index))
+                self._resumptions.labels(shard=str(index))
+
+            def delta_listener(shard_id, suspensions, resumptions) -> None:
+                label = str(shard_id)
+                if suspensions:
+                    self._suspensions.labels(shard=label).inc(suspensions)
+                if resumptions:
+                    self._resumptions.labels(shard=label).inc(resumptions)
+
+            add_delta(delta_listener)
 
     # -- live introspection ----------------------------------------------------
 

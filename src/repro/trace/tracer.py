@@ -458,6 +458,49 @@ class Tracer:
         """MNS suspensions currently open (suspended, not yet resumed)."""
         return len(self._open_mns)
 
+    # -- worker merging --------------------------------------------------------
+
+    def merge_worker(
+        self,
+        worker: str,
+        spans,
+        profiles=None,
+        mns_pairs_closed: int = 0,
+    ) -> None:
+        """Fold spans and profiles recorded by a worker-process tracer in.
+
+        Process-mode shard workers run their own :class:`Tracer` (seeded on
+        the parent's epoch, so timelines align under fork's shared
+        ``perf_counter``) and ship their ring contents back at every flush
+        barrier.  Each merged span is stamped with the worker id in
+        ``args["worker"]``; profiles accumulate additively, and the workers'
+        closed MNS pairs roll into this tracer's counter so
+        ``trace_mns_pairs_closed`` covers the whole fleet.
+        """
+        for span in spans:
+            merged = dict(span)
+            args = dict(merged.get("args") or {})
+            args["worker"] = worker
+            merged["args"] = args
+            self.ring.append(merged)
+        for key, incoming in (profiles or {}).items():
+            profile = self.profiles.get(key)
+            if profile is None:
+                self.profiles[key] = dict(incoming)
+                continue
+            profile["steps"] += incoming["steps"]
+            profile["wall_us"] += incoming["wall_us"]
+            profile["emitted"] += incoming["emitted"]
+            for kind in ("probe_step", "predicate_eval", "hash", "result_build"):
+                profile[kind] += incoming.get(kind, 0)
+            profile["first_virtual_ts"] = min(
+                profile["first_virtual_ts"], incoming["first_virtual_ts"]
+            )
+            profile["last_virtual_ts"] = max(
+                profile["last_virtual_ts"], incoming["last_virtual_ts"]
+            )
+        self.mns_pairs_closed += mns_pairs_closed
+
     # -- exports ---------------------------------------------------------------
 
     def stats(self) -> Dict[str, float]:

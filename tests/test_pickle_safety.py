@@ -1,0 +1,130 @@
+"""Pickle-safety audit for everything the process backend ships over pipes.
+
+``drain_mode="process"`` serializes four classes of payload between the
+parent and its shard workers: routed event micro-batches (parent → worker),
+hosted-plan commands carrying :class:`RegisteredQuery` entries (parent →
+worker), per-query result tuples riding on acknowledgements (worker →
+parent), and telemetry snapshots — :class:`MetricsReport`, cost counters,
+scheduler stats — shipped at every flush barrier (worker → parent).  A type
+that silently stops pickling (a lambda predicate, an unpicklable cached
+attribute, a thread lock stored on a dataclass) would surface as a runtime
+crash deep inside a worker; this audit pins the contract at the type level
+so the break names itself here first.
+"""
+
+import pickle
+
+import pytest
+
+from repro.engine.results import result_key
+from repro.multi import QueryRegistry, ShardedEngine
+from repro.multi.workload import generate_multi_query_workload
+from repro.plans.builder import STRATEGY_JIT, STRATEGY_REF
+from repro.trace import TraceContext
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_multi_query_workload(
+        n_queries=8, n_sources=5, rate=0.8, window_seconds=20, dmax=4, duration=60, seed=3
+    )
+
+
+@pytest.fixture(scope="module")
+def registry(workload):
+    registry = QueryRegistry()
+    for index, query in enumerate(workload.queries()):
+        registry.register(
+            query, strategy=STRATEGY_JIT if index % 2 else STRATEGY_REF
+        )
+    return registry
+
+
+@pytest.fixture(scope="module")
+def sync_run(registry, workload):
+    """One synchronous run whose artifacts the round-trips below audit."""
+    with ShardedEngine(registry, n_shards=2) as engine:
+        report = engine.run_batch(workload.events())
+        shards = engine.shards
+        snapshots = [
+            {
+                "queue_count": shard.queue_count,
+                "queue_depth": shard.queue_depth,
+                "events_processed": shard.events_processed,
+                "results_produced": shard.results_produced,
+                "shared_subplans_active": shard.shared_subplans_active,
+                "shared_subplan_hits": shard.shared_subplan_hits,
+                "sources": shard.sources,
+                "cost_counters": shard.cost.snapshot(),
+                "scheduler_stats": dict(shard.scheduler.stats()),
+                "metrics": shard.metrics(),
+            }
+            for shard in shards
+        ]
+    return report, snapshots
+
+
+def _roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+def test_every_routed_event_roundtrips(workload):
+    events = workload.events()
+    assert events
+    for event in events:
+        clone = _roundtrip(event)
+        assert clone == event
+        assert (clone.source, clone.ts, clone.tuple.seq) == (
+            event.source, event.ts, event.tuple.seq
+        )
+    # Micro-batches ship as lists, exactly as the router splits them.
+    batch = events[:32]
+    assert _roundtrip(batch) == batch
+
+
+def test_every_registration_roundtrips(registry):
+    for entry in registry:
+        clone = _roundtrip(entry)
+        assert clone.query_id == entry.query_id
+        assert clone.strategy == entry.strategy
+        assert clone.sources == entry.sources
+        assert clone.describe() == entry.describe()
+        # The canonical sub-plan signature must survive too — sharing on a
+        # remote shard groups by it (including the cached copy a registry
+        # lookup may already have materialized on the instance).
+        assert clone.subplan_signature() == entry.subplan_signature()
+
+
+def test_every_result_tuple_roundtrips(sync_run):
+    report, _snapshots = sync_run
+    audited = 0
+    for qreport in report.queries.values():
+        for tup in qreport.results.results:
+            clone = _roundtrip(tup)
+            assert result_key(clone) == result_key(tup)
+            assert clone.ts == tup.ts
+            audited += 1
+    assert audited == report.total_results
+    assert audited > 0
+
+
+def test_telemetry_snapshots_roundtrip(sync_run):
+    _report, snapshots = sync_run
+    for snapshot in snapshots:
+        clone = _roundtrip(snapshot)
+        metrics, metrics_clone = snapshot["metrics"], clone["metrics"]
+        assert metrics_clone.cpu_units == metrics.cpu_units
+        assert metrics_clone.peak_memory_bytes == metrics.peak_memory_bytes
+        assert dict(metrics_clone.counters) == dict(metrics.counters)
+        assert metrics_clone.results_produced == metrics.results_produced
+        for key in snapshot:
+            if key == "metrics":
+                continue
+            assert clone[key] == snapshot[key]
+
+
+def test_trace_context_roundtrips():
+    for ctx in (TraceContext(7, True), TraceContext(123456, False)):
+        clone = _roundtrip(ctx)
+        assert clone.trace_id == ctx.trace_id
+        assert clone.sampled == ctx.sampled

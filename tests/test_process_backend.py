@@ -1,0 +1,286 @@
+"""Process drain mode: equivalence with sync, worker lifecycle, restarts.
+
+The central claim of the backend abstraction is that a drain mode changes
+*when* and *where* work happens, never *what* is computed: each shard
+processes its own feed in arrival order and plans never span shards, so the
+per-query **result sequences** (not just counts) of a
+``drain_mode="process"`` run must be bit-identical to the synchronous mode
+under every scheduler policy, with and without sub-plan sharing.
+
+The lifecycle half pins the failure contract: a crashed worker surfaces as
+a :class:`~repro.multi.backend.ShardWorkerError` naming the shard instead
+of a hang, SIGTERM produces a graceful drain-and-exit, and
+``restart_worker`` brings a replacement up (counted by the
+``serve_shard_worker_restarts_total`` telemetry family) without losing
+already-collected results.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.engine.results import result_key
+from repro.multi import (
+    QueryRegistry,
+    ShardedEngine,
+    ShardWorkerError,
+)
+from repro.multi.workload import MultiQueryWorkload, generate_multi_query_workload
+from repro.plans.builder import STRATEGY_JIT, STRATEGY_REF
+
+ALL_POLICIES = ("fifo", "round_robin", "priority", "jit_aware")
+
+
+@pytest.fixture(scope="module")
+def workload() -> MultiQueryWorkload:
+    """Eight standing queries over five shared streams, dense enough to
+    exercise suspension/resumption traffic (small dmax, live window)."""
+    return generate_multi_query_workload(
+        n_queries=8, n_sources=5, rate=0.8, window_seconds=20, dmax=4, duration=120, seed=3
+    )
+
+
+@pytest.fixture(scope="module")
+def events(workload):
+    return workload.events()
+
+
+def _registry(workload: MultiQueryWorkload) -> QueryRegistry:
+    registry = QueryRegistry()
+    for index, query in enumerate(workload.queries()):
+        registry.register(
+            query, strategy=STRATEGY_JIT if index % 2 else STRATEGY_REF
+        )
+    return registry
+
+
+def _result_sequences(report):
+    """Per-query result-key sequences, in emission order."""
+    return {
+        qid: [result_key(tup) for tup in qreport.results.results]
+        for qid, qreport in report.queries.items()
+    }
+
+
+def _run(workload, events, drain_mode, **kwargs):
+    with ShardedEngine(_registry(workload), drain_mode=drain_mode, **kwargs) as engine:
+        return engine.run_batch(events)
+
+
+class TestProcessSyncEquivalence:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_bit_identical_to_sync(self, workload, events, policy):
+        sync = _run(workload, events, "sync", n_shards=2, scheduler=policy)
+        proc = _run(workload, events, "process", n_shards=2, scheduler=policy)
+        assert _result_sequences(proc) == _result_sequences(sync)
+        assert proc.events_ingested == sync.events_ingested
+        assert proc.cpu_units == sync.cpu_units
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_bit_identical_with_shared_subplans(self, workload, events, policy):
+        sync = _run(
+            workload, events, "sync", n_shards=2, scheduler=policy,
+            share_subplans=True,
+        )
+        proc = _run(
+            workload, events, "process", n_shards=2, scheduler=policy,
+            share_subplans=True,
+        )
+        assert _result_sequences(proc) == _result_sequences(sync)
+        # Sharing must actually engage inside the workers (the proxies
+        # surface the worker-side counters).
+        assert sum(m.results_produced for m in proc.shard_metrics) > 0
+
+    def test_deterministic_across_runs(self, workload, events):
+        first = _run(workload, events, "process", n_shards=2)
+        second = _run(workload, events, "process", n_shards=2)
+        assert _result_sequences(first) == _result_sequences(second)
+
+    def test_ingest_async_micro_batching(self, workload, events):
+        sync = _run(workload, events, "sync", n_shards=2)
+        with ShardedEngine(_registry(workload), n_shards=2, drain_mode="process") as engine:
+            for event in events:
+                engine.ingest_async(event)
+            engine.flush()
+            proc = engine.report()
+        assert _result_sequences(proc) == _result_sequences(sync)
+
+    def test_single_shard_matches_sync(self, workload, events):
+        sync = _run(workload, events, "sync", n_shards=1)
+        proc = _run(workload, events, "process", n_shards=1)
+        assert _result_sequences(proc) == _result_sequences(sync)
+
+
+class TestLiveLifecycleOps:
+    def test_add_and_retire_query_mid_stream(self, workload, events):
+        def drive(mode):
+            registry = _registry(workload)
+            entries = list(registry)
+            late = entries[-1]
+            with ShardedEngine(registry, n_shards=2, drain_mode=mode) as engine:
+                victim = entries[0].query_id
+                cut_a, cut_b = len(events) // 3, 2 * len(events) // 3
+                for event in events[:cut_a]:
+                    engine.submit(event)
+                retired = engine.retire_query(victim)
+                for event in events[cut_a:cut_b]:
+                    engine.submit(event)
+                engine.retire_query(late.query_id)
+                engine.add_query(late)
+                for event in events[cut_b:]:
+                    engine.submit(event)
+                engine.flush()
+                report = engine.report()
+                sequences = _result_sequences(report)
+                sequences[victim] = [
+                    result_key(tup) for tup in retired.collector.results
+                ]
+            return sequences
+
+        assert drive("process") == drive("sync")
+
+    def test_queue_count_visible_after_construction(self, workload):
+        # The benchmark samples shard.queue_count right after construction;
+        # process proxies must surface it from the hosting handshake.
+        with ShardedEngine(_registry(workload), n_shards=2, drain_mode="process") as engine:
+            assert sum(shard.queue_count for shard in engine.shards) > 0
+            assert all(shard.queue_depth == 0 for shard in engine.shards)
+
+
+class TestWorkerLifecycle:
+    def test_liveness_and_restarts_all_modes(self, workload):
+        for mode in ("sync", "thread", "process"):
+            with ShardedEngine(_registry(workload), n_shards=2, drain_mode=mode) as engine:
+                assert engine.worker_liveness() == {0: 1, 1: 1}
+                assert engine.worker_restarts() == {0: 0, 1: 0}
+
+    def test_crashed_worker_raises_named_error(self, workload, events):
+        engine = ShardedEngine(_registry(workload), n_shards=2, drain_mode="process")
+        # Ship an event whose timestamp is ahead of the watermark the worker
+        # was told about: the shard clock refuses to run ahead of the global
+        # floor, so the worker's drain loop raises and the worker dies.
+        engine._backend.dispatch(0, events[-1], None, watermark=0.0)
+        with pytest.raises(ShardWorkerError, match="shard 0"):
+            engine.flush()
+        with pytest.raises(ShardWorkerError, match="worker"):
+            engine.close()
+        engine.close()  # idempotent after the error surfaced
+
+    def test_close_surfaces_unflushed_crash(self, workload, events):
+        engine = ShardedEngine(_registry(workload), n_shards=2, drain_mode="process")
+        engine._backend.dispatch(0, events[-1], None, watermark=0.0)
+        with pytest.raises(ShardWorkerError, match="shard 0"):
+            engine.close()
+
+    def test_sigterm_drains_and_exits(self, workload, events):
+        engine = ShardedEngine(_registry(workload), n_shards=2, drain_mode="process")
+        for event in events[:40]:
+            engine.submit(event)
+        engine.flush()
+        handle = engine._backend.handles[0]
+        os.kill(handle.proc.pid, signal.SIGTERM)
+        handle.proc.join(10.0)
+        assert not handle.proc.is_alive()
+        deadline = time.monotonic() + 5.0
+        while handle.graceful_exit is None and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert handle.graceful_exit == "sigterm"
+        assert engine.worker_liveness()[0] == 0
+        assert engine.worker_liveness()[1] == 1
+        # Further work for the dead shard is refused, not silently dropped.
+        with pytest.raises(ShardWorkerError, match="shard 0"):
+            engine._backend.dispatch(0, events[40], None, watermark=events[40].ts)
+        engine._backend.handles[1].barrier()
+        try:
+            engine.close()
+        except ShardWorkerError:
+            pass
+
+    def test_restart_worker_restores_service(self, workload, events):
+        with ShardedEngine(_registry(workload), n_shards=2, drain_mode="process") as engine:
+            cut = len(events) // 2
+            for event in events[:cut]:
+                engine.submit(event)
+            engine.flush()
+            before = {
+                qid: report.result_count
+                for qid, report in engine.report().queries.items()
+            }
+            engine.restart_worker(0)
+            assert engine.worker_liveness() == {0: 1, 1: 1}
+            assert engine.worker_restarts() == {0: 1, 1: 0}
+            for event in events[cut:]:
+                engine.submit(event)
+            engine.flush()
+            after = engine.report()
+            # Results collected before the restart survive on the mirrors;
+            # shard-1 queries keep accumulating normally.
+            for qid, report in after.queries.items():
+                assert report.result_count >= before[qid]
+            assert after.events_ingested == len(events)
+
+    def test_restart_is_process_mode_only(self, workload):
+        for mode in ("sync", "thread"):
+            with ShardedEngine(_registry(workload), n_shards=1, drain_mode=mode) as engine:
+                with pytest.raises(RuntimeError, match="process-mode"):
+                    engine.restart_worker(0)
+
+
+class TestWorkerTracing:
+    def test_worker_spans_merge_into_one_trace(self, workload, events):
+        from repro.trace import Tracer, validate_chrome_trace
+
+        def traced(mode):
+            tracer = Tracer(sample_rate=1.0, capacity=50_000, seed=7)
+            with ShardedEngine(_registry(workload), n_shards=2, drain_mode=mode) as engine:
+                engine.attach_tracer(tracer)
+                report = engine.run_batch(events[: len(events) // 2])
+            return tracer, report
+
+        sync_tracer, sync_report = traced("sync")
+        proc_tracer, proc_report = traced("process")
+        # Tracing must not perturb results, and the merged fleet must record
+        # the same span population the inline run does.
+        assert _result_sequences(proc_report) == _result_sequences(sync_report)
+        sync_stats, proc_stats = sync_tracer.stats(), proc_tracer.stats()
+        assert proc_stats["spans_recorded"] == sync_stats["spans_recorded"]
+        assert proc_stats["mns_pairs_closed"] == sync_stats["mns_pairs_closed"]
+        trace = proc_tracer.chrome_trace()
+        validate_chrome_trace(trace)
+        workers = {
+            span.get("args", {}).get("worker")
+            for span in trace["traceEvents"]
+            if span.get("ph") != "M"
+        }
+        # Parent-side ingest/route spans carry no worker id; every shard's
+        # worker contributes spans under its own label.
+        assert {"w0", "w1"} <= workers
+        # Worker profiles fold into the parent's per-operator table.
+        assert proc_tracer.profiles
+        assert set(proc_tracer.profiles) == set(sync_tracer.profiles)
+
+
+class TestDrainModeSelection:
+    def test_unknown_mode_rejected(self, workload):
+        with pytest.raises(ValueError, match="drain_mode"):
+            ShardedEngine(_registry(workload), drain_mode="fibers")
+
+    def test_threaded_flag_conflicts_with_other_mode(self, workload):
+        with pytest.raises(ValueError, match="conflicts"):
+            ShardedEngine(_registry(workload), threaded=True, drain_mode="process")
+
+    def test_threaded_flag_still_selects_thread_mode(self, workload):
+        with ShardedEngine(_registry(workload), threaded=True) as engine:
+            assert engine.drain_mode == "thread"
+            assert engine.threaded is True
+
+    def test_bad_scheduler_fails_eagerly_in_parent(self, workload):
+        with pytest.raises(ValueError):
+            ShardedEngine(_registry(workload), drain_mode="process", scheduler="nope")
+
+    def test_report_names_the_mode(self, workload, events):
+        report = _run(workload, events[:30], "process", n_shards=1)
+        assert report.drain_mode == "process"
+        assert "[process]" in report.summary()

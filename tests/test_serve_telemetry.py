@@ -287,6 +287,8 @@ class TestDocumentedMetricsExist:
             "serve_shared_subplans_active": (0, 0),  # sharing off in fixture
             "serve_shared_subplan_hits_total": (0, 0),
             "serve_shard_steps_per_event": (0.000001, float("inf")),
+            "serve_shard_worker_alive": (1, 1),  # inline shards: always live
+            "serve_shard_worker_restarts_total": (0, 0),
             "serve_uptime_seconds": (0.0, float("inf")),
         }
         for name, (low, high) in checks.items():
@@ -387,8 +389,11 @@ class TestDocumentedMetricsExist:
 class TestInstrumentationEquivalence:
     """Telemetry + block backpressure must not change any result sequence."""
 
-    @pytest.mark.parametrize("n_shards,threaded", ((1, False), (3, False), (3, True)))
-    def test_served_matches_standalone(self, n_shards, threaded):
+    @pytest.mark.parametrize(
+        "n_shards,drain_mode",
+        ((1, "sync"), (3, "sync"), (3, "thread"), (2, "process")),
+    )
+    def test_served_matches_standalone(self, n_shards, drain_mode):
         workload = _workload()
         events = workload.events()
         registry = _registry(workload)
@@ -400,7 +405,9 @@ class TestInstrumentationEquivalence:
             )
             standalone[entry.query_id] = report.results.multiset()
 
-        engine = ShardedEngine(_registry(workload), n_shards=n_shards, threaded=threaded)
+        engine = ShardedEngine(
+            _registry(workload), n_shards=n_shards, drain_mode=drain_mode
+        )
         server = StreamServer(engine, capacity=16, policy=OverloadPolicy.BLOCK)
         for event in events:
             server.submit(event)
@@ -410,5 +417,37 @@ class TestInstrumentationEquivalence:
         report = server.report()
         assert report.shed == 0
         assert report.delivered == report.ingested == len(events)
-        if threaded:
+        if drain_mode != "sync":
             engine.close()
+
+    def test_process_mode_feedback_and_worker_gauges(self):
+        """Worker-shipped feedback deltas must match sync-mode counting, and
+        the worker gauges must reflect process-backend liveness."""
+        workload = _workload()
+        events = workload.events()
+
+        def serve(drain_mode):
+            engine = ShardedEngine(
+                _registry(workload), n_shards=2, scheduler="jit_aware",
+                drain_mode=drain_mode,
+            )
+            server = StreamServer(engine, capacity=32, policy=OverloadPolicy.BLOCK)
+            for event in events:
+                server.submit(event)
+            server.flush()
+            parsed = parse_exposition(server.exposition())
+            server.close()
+            return parsed
+
+        sync_parsed = serve("sync")
+        proc_parsed = serve("process")
+        for family in ("serve_suspensions_total", "serve_resumptions_total"):
+            assert proc_parsed[family] == sync_parsed[family]
+        assert proc_parsed["serve_shard_worker_alive"] == {
+            (("shard", "0"),): 1.0,
+            (("shard", "1"),): 1.0,
+        }
+        assert proc_parsed["serve_shard_worker_restarts_total"] == {
+            (("shard", "0"),): 0.0,
+            (("shard", "1"),): 0.0,
+        }

@@ -68,6 +68,7 @@ def build_server(workload, args) -> StreamServer:
         n_shards=args.shards,
         scheduler=args.scheduler,
         threaded=args.threaded,
+        drain_mode=args.drain_mode,
         keep_results=False,
     )
     return StreamServer(
@@ -138,6 +139,14 @@ def main(argv: Optional[List[str]] = None) -> None:
         default="jit_aware",
     )
     parser.add_argument("--threaded", action="store_true", help="thread-per-shard workers")
+    parser.add_argument(
+        "--drain-mode",
+        choices=("sync", "thread", "process"),
+        default=None,
+        help="shard worker backend (supersedes --threaded; 'process' profiles "
+        "the parent-side pipe/dispatch path, workers live in their own "
+        "processes — point py-spy at a worker pid for the other half)",
+    )
     parser.add_argument("--seed", type=int, default=17)
     parser.add_argument(
         "--loop",

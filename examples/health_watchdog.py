@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Health monitor walkthrough: SLO breach, worker stall, diagnostic bundle.
+
+Drives an overdriven 2-shard **process-mode** server with a
+:class:`~repro.health.HealthMonitor` attached and demonstrates the whole
+incident pipeline end to end:
+
+1. per-query SLOs are declared (an unmeetable lag bound on one query),
+   events are pushed without draining, and the ok -> warning -> breach
+   state machine fires — ``laggy_queries()`` ranks the victims;
+2. a worker is deliberately **wedged** (alive, pipe open, watermark
+   frozen) via the process backend's stall-injection chaos hook; the
+   watchdog names the shard and reason within its deadline — the failure
+   mode that used to be a silent hang;
+3. the breach + stall transitions each capture a **diagnostic bundle**;
+   the bundle is schema-validated and rendered through
+   ``repro.health.doctor`` — the same artifact CI uploads on nightly
+   runs;
+4. ``restart_worker`` clears the stall verdict and the replacement
+   worker serves the rest of the stream.
+
+The script asserts its expectations and exits non-zero on violation, so
+CI uses it as the health smoke test.  See ``docs/HEALTH.md``.
+
+Run with::
+
+    python examples/health_watchdog.py [bundle-out.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.health import (
+    HealthMonitor,
+    QuerySLO,
+    render_report,
+    validate_bundle,
+)
+from repro.multi import QueryRegistry, ShardedEngine, generate_multi_query_workload
+from repro.serve import OverloadPolicy, StreamServer, parse_exposition
+
+STALL_DEADLINE = 1.0  # max seconds from stall onset to a named diagnosis
+
+
+def build_registry(workload) -> QueryRegistry:
+    registry = QueryRegistry()
+    for index, query in enumerate(workload.queries()):
+        registry.register(query, query_id=f"q{index}")
+    return registry
+
+
+def main(out_path: Path) -> None:
+    workload = generate_multi_query_workload(
+        n_queries=6, n_sources=4, rate=0.8,
+        window_seconds=20, dmax=4, duration=90, seed=7,
+    )
+    events = workload.events()
+    engine = ShardedEngine(
+        build_registry(workload), n_shards=2, scheduler="jit_aware",
+        drain_mode="process",
+    )
+    server = StreamServer(engine, capacity=4096, policy=OverloadPolicy.BLOCK)
+    monitor = HealthMonitor(
+        server,
+        slos={
+            # q0 must answer within 1 virtual second of the watermark —
+            # unmeetable while we pile events up without draining.
+            "q0": QuerySLO(max_lag=1.0),
+            # q1 gets a generous bound that stays ok throughout.
+            "q1": QuerySLO(max_lag=1e9),
+        },
+        stall_deadline=STALL_DEADLINE,
+    )
+
+    # -- 1. overdrive: buffer a big batch, evaluate before draining ---------
+    for event in events[:2000]:
+        server.submit(event)
+    verdict = monitor.check()
+    print(f"[1] SLO pass while overdriven: breaching={verdict['breaching']}")
+    assert verdict["breaching"] == ["q0"], verdict
+    laggy = monitor.laggy_queries(0.0)
+    print(f"    laggy queries (worst first): "
+          f"{[(qid, round(lag, 2)) for qid, lag in laggy[:3]]}")
+    assert laggy and laggy[0][1] > 1.0
+    server.flush()
+
+    # -- 2. wedge a worker; the watchdog must name it within the deadline ---
+    engine.inject_worker_stall(0, 2.5)
+    injected = time.monotonic()
+    diagnosis = None
+    while time.monotonic() - injected < 2 * STALL_DEADLINE:
+        verdicts = monitor.watchdog.poll()
+        if verdicts:
+            diagnosis = verdicts[0]
+            break
+        time.sleep(0.02)
+    detected_after = time.monotonic() - injected
+    assert diagnosis is not None, "stall never diagnosed"
+    assert detected_after <= STALL_DEADLINE, f"took {detected_after:.2f}s"
+    print(f"[2] watchdog verdict after {detected_after:.2f}s "
+          f"(deadline {STALL_DEADLINE}s): {diagnosis.describe()}")
+
+    # -- 3. capture the bundle, validate its schema, run the doctor ---------
+    bundle_path = monitor.write_bundle("example-incident", path=str(out_path))
+    with open(bundle_path, "r", encoding="utf-8") as handle:
+        bundle = json.load(handle)
+    validate_bundle(bundle)
+    assert bundle["watchdog"]["diagnoses"]["0"]["kind"] == "stalled"
+    assert bundle["queries"]["q0"]["breaches_total"] >= 1
+    print(f"[3] bundle written and schema-validated: {bundle_path}")
+    print()
+    print(render_report(bundle))
+    print()
+
+    # -- 4. restart clears the verdict; the replacement serves --------------
+    engine.restart_worker(0)
+    assert monitor.watchdog.poll() == {}, "restart must clear the verdict"
+    server.submit_many(events[2000:3000])
+    server.flush()
+    parsed = parse_exposition(server.exposition())
+    stalls = parsed["health_worker_stalls_total"][(("shard", "0"),)]
+    restarts = parsed["serve_shard_worker_restarts_total"][(("shard", "0"),)]
+    assert stalls >= 1.0 and restarts == 1.0
+    print(f"[4] restart_worker cleared the stall "
+          f"(stalls_total={stalls:.0f}, restarts={restarts:.0f}); "
+          f"{server.report().results} results served")
+    server.close()
+    print("health watchdog example: OK")
+
+
+if __name__ == "__main__":
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        Path(__file__).resolve().parent / "health_bundle.json"
+    )
+    main(out)

@@ -1,0 +1,56 @@
+"""Query health: watermark-lag SLOs, stall watchdog, diagnostic bundles.
+
+The layer that answers "is query q17 healthy *right now*, and if not,
+why?".  Raw telemetry (``repro.serve``) carries counters and the flight
+recorder (``repro.trace``) carries causality; :class:`HealthMonitor`
+derives *verdicts* from both:
+
+* per-query **watermark lag** (ingestion watermark minus last-emitted
+  result timestamp) and wall-clock staleness,
+* per-shard **starvation** and **MNS suspension ages** (how long a
+  producer has sat suspended awaiting resumption),
+* a declarative per-query :class:`QuerySLO` evaluated through an
+  ok -> warning -> breach state machine,
+* a :class:`~repro.health.watchdog.StallWatchdog` over the process
+  backend's pipe heartbeats that distinguishes "worker dead" from
+  "worker alive but not advancing", and
+* one-file **diagnostic bundles** (:mod:`repro.health.bundle`) rendered
+  into a human diagnosis by :mod:`repro.health.doctor`.
+
+Everything here is pull-based: the monitor samples state the engines
+already maintain, so an attached-but-idle monitor costs nothing on the
+event hot path (enforced by ``benchmarks/bench_throughput.py --suite
+health``).  See ``docs/HEALTH.md``.
+"""
+
+from repro.health.bundle import (
+    BUNDLE_SCHEMA_VERSION,
+    collect_bundle,
+    validate_bundle,
+    write_bundle,
+)
+from repro.health.doctor import diagnose, render_report
+from repro.health.monitor import (
+    SLO_BREACH,
+    SLO_OK,
+    SLO_WARNING,
+    HealthMonitor,
+    QuerySLO,
+)
+from repro.health.watchdog import StallDiagnosis, StallWatchdog
+
+__all__ = [
+    "HealthMonitor",
+    "QuerySLO",
+    "SLO_OK",
+    "SLO_WARNING",
+    "SLO_BREACH",
+    "StallDiagnosis",
+    "StallWatchdog",
+    "BUNDLE_SCHEMA_VERSION",
+    "collect_bundle",
+    "write_bundle",
+    "validate_bundle",
+    "diagnose",
+    "render_report",
+]

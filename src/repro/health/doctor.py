@@ -1,0 +1,174 @@
+"""The doctor: turn a diagnostic bundle into a human diagnosis.
+
+``python -m repro.health.doctor bundle.json`` reads a bundle written by
+:mod:`repro.health.bundle` and prints a report: the incident header, a
+ranked list of findings ("q17 suspended 4.2s awaiting MNS resumption;
+shard 3 queue depth 10x median"), and the supporting tables.  The same
+heuristics are importable (:func:`diagnose`) so tests and supervision
+tooling can assert on findings instead of parsing prose.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from statistics import median_low
+from typing import Dict, List
+
+from repro.health.bundle import validate_bundle
+
+__all__ = ["diagnose", "render_report", "main"]
+
+_STATE_NAMES = {0: "ok", 1: "warning", 2: "breach"}
+
+
+def diagnose(bundle: Dict[str, object]) -> List[str]:
+    """Ranked findings (most severe first) extracted from one bundle."""
+    findings: List[str] = []
+    shards: Dict[str, dict] = bundle.get("shards", {})
+    queries: Dict[str, dict] = bundle.get("queries", {})
+
+    # 1. Dead or stalled workers — always the headline.
+    for shard_id, row in sorted(shards.items()):
+        if not row.get("alive", True):
+            findings.append(f"shard {shard_id} worker is DEAD (process exited)")
+        elif row.get("stall"):
+            findings.append(str(row["stall"]))
+
+    # 2. SLO breaches and warnings, with the evaluator's own reasons.
+    for state_wanted in (2, 1):
+        for query_id, row in sorted(queries.items()):
+            if row.get("slo_state", 0) != state_wanted:
+                continue
+            reasons = "; ".join(row.get("slo_reasons", ())) or (
+                f"lag {row.get('lag', 0.0):.2f}s"
+            )
+            findings.append(
+                f"query {query_id} SLO {_STATE_NAMES[state_wanted]}: {reasons} "
+                f"(breaches so far: {row.get('breaches_total', 0)})"
+            )
+
+    # 3. Open MNS suspensions: producers parked awaiting resumption.
+    for shard_id, row in sorted(shards.items()):
+        open_count = row.get("mns_open") or 0
+        if open_count > 0:
+            age = row.get("mns_oldest_age") or 0.0
+            findings.append(
+                f"shard {shard_id} has {open_count} producer(s) suspended awaiting "
+                f"MNS resumption; oldest suspended {age:.1f} virtual seconds"
+            )
+
+    # 4. Load imbalance: queue depth far above the fleet median.
+    depths = {shard_id: row.get("queue_depth", 0) or 0 for shard_id, row in shards.items()}
+    if depths:
+        # median_low so a lone outlier in a small fleet cannot drag the
+        # "typical" depth up to its own level and hide itself.
+        typical = median_low(sorted(depths.values()))
+        for shard_id, depth in sorted(depths.items(), key=lambda kv: -kv[1]):
+            if depth > 0 and depth > 2.0 * max(typical, 1):
+                ratio = depth / max(typical, 1)
+                findings.append(
+                    f"shard {shard_id} queue depth {depth} is {ratio:.1f}x the "
+                    f"fleet median ({typical:g}) — a migration/placement candidate"
+                )
+
+    # 5. Scheduler starvation: a ready queue's head left behind the watermark.
+    for shard_id, row in sorted(shards.items()):
+        age = row.get("max_starvation_age") or 0.0
+        if age > 0.0 and row.get("ready_queues", 0):
+            findings.append(
+                f"shard {shard_id} oldest ready queue head trails the watermark "
+                f"by {age:.1f} virtual seconds across {row.get('ready_queues')} "
+                "ready queue(s)"
+            )
+
+    # 6. Queries that have answered nothing at all.
+    for query_id, row in sorted(queries.items()):
+        if row.get("results", 0) == 0 and (row.get("lag") or 0.0) > 0.0:
+            findings.append(
+                f"query {query_id} has emitted no results; the whole observed "
+                f"stream ({row['lag']:.1f} virtual seconds) is unanswered"
+            )
+
+    # 7. Overload at the front door.
+    buffer_state = bundle.get("buffer") or {}
+    shed = buffer_state.get("shed_by_source") or {}
+    total_shed = sum(shed.values())
+    if total_shed:
+        worst = max(shed, key=shed.get)
+        findings.append(
+            f"overload policy {buffer_state.get('policy')!r} shed {total_shed} "
+            f"event(s), most from source {worst!r} ({shed[worst]})"
+        )
+    return findings
+
+
+def render_report(bundle: Dict[str, object]) -> str:
+    """The full human-readable report for one bundle."""
+    lines: List[str] = []
+    lines.append("=" * 72)
+    lines.append(
+        f"health bundle: {bundle.get('reason', '?')} "
+        f"(schema v{bundle.get('schema_version')})"
+    )
+    lines.append(
+        f"watermark={bundle.get('watermark')} uptime={bundle.get('uptime_seconds', 0):.1f}s "
+        f"captured_unix={bundle.get('created_unix', 0):.0f}"
+    )
+    lines.append("=" * 72)
+    findings = diagnose(bundle)
+    lines.append("")
+    lines.append(f"diagnosis ({len(findings)} finding(s)):")
+    if findings:
+        for index, finding in enumerate(findings, 1):
+            lines.append(f"  {index}. {finding}")
+    else:
+        lines.append("  no anomalies detected — all queries within SLO, workers healthy")
+    queries = bundle.get("queries", {})
+    if queries:
+        lines.append("")
+        lines.append(f"{'query':<12} {'lag':>8} {'results':>8} {'state':>8} {'breaches':>9}")
+        for query_id, row in sorted(queries.items()):
+            lag = row.get("lag")
+            lines.append(
+                f"{query_id:<12} {lag if lag is None else format(lag, '8.2f')} "
+                f"{row.get('results', 0):>8} "
+                f"{_STATE_NAMES.get(row.get('slo_state', 0), '?'):>8} "
+                f"{row.get('breaches_total', 0):>9}"
+            )
+    shards = bundle.get("shards", {})
+    if shards:
+        lines.append("")
+        lines.append(
+            f"{'shard':<6} {'alive':>5} {'depth':>6} {'starv':>7} {'mns':>4} "
+            f"{'mns_age':>8} {'stall'}"
+        )
+        for shard_id, row in sorted(shards.items()):
+            lines.append(
+                f"{shard_id:<6} {'yes' if row.get('alive', True) else 'NO':>5} "
+                f"{row.get('queue_depth', 0):>6} "
+                f"{row.get('max_starvation_age', 0.0):>7.2f} "
+                f"{row.get('mns_open', 0):>4} "
+                f"{row.get('mns_oldest_age', 0.0):>8.2f} "
+                f"{row.get('stall') or '-'}"
+            )
+    tail = bundle.get("trace_tail") or []
+    lines.append("")
+    lines.append(f"trace tail: {len(tail)} span(s) captured")
+    return "\n".join(lines)
+
+
+def main(argv: List[str] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1 or argv[0] in ("-h", "--help"):
+        print("usage: python -m repro.health.doctor <bundle.json>", file=sys.stderr)
+        return 2
+    with open(argv[0], "r", encoding="utf-8") as handle:
+        bundle = json.load(handle)
+    validate_bundle(bundle)
+    print(render_report(bundle))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

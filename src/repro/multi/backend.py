@@ -52,6 +52,7 @@ from __future__ import annotations
 import os
 import signal
 import threading
+import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
@@ -470,6 +471,30 @@ class ProcessShardProxy:
             return MetricsReport(cpu_units=0.0, peak_memory_bytes=0, wall_seconds=0.0)
         return report
 
+    def health_stats(self) -> Dict[str, object]:
+        """Heartbeat + progress facts for the health monitor's watchdog.
+
+        Combines the worker's last shipped snapshot (watermark, starvation
+        and MNS ages — refreshed at every barrier/flush) with the live
+        parent-side heartbeat: ``last_progress`` is the wall instant of the
+        worker's last pipe message of any kind, ``in_flight`` the events
+        dispatched but not yet acknowledged.  A stalled worker is alive
+        with ``in_flight > 0`` and a stale ``last_progress``.
+        """
+        handle = self._handle
+        snap = handle.snapshot
+        return {
+            "alive": handle.is_alive(),
+            "in_flight": handle.in_flight,
+            "acked_events": handle.acked_events,
+            "last_progress": handle.last_progress,
+            "watermark": float(snap.get("watermark", 0.0)),
+            "ready_queues": int(snap.get("ready_queues", 0)),
+            "max_starvation_age": float(snap.get("max_starvation_age", 0.0)),
+            "mns_open": int(snap.get("mns_open", 0)),
+            "mns_oldest_ts": snap.get("mns_oldest_ts"),
+        }
+
     def __repr__(self) -> str:
         return (
             f"ProcessShardProxy(id={self.shard_id}, alive={self._handle.alive}, "
@@ -489,6 +514,11 @@ def _empty_snapshot() -> Dict[str, object]:
         "cost_counters": {},
         "scheduler_stats": {},
         "metrics": None,
+        "watermark": 0.0,
+        "ready_queues": 0,
+        "max_starvation_age": 0.0,
+        "mns_open": 0,
+        "mns_oldest_ts": None,
     }
 
 
@@ -520,15 +550,29 @@ class _WorkerState:
         self.resumptions_since_ack = 0
         self.mns_closed_shipped = 0
         self._counted_contexts: set = set()
+        #: Open MNS suspensions, keyed per (producer, consumer) edge: the
+        #: watermark at which each still-unresumed suspension arrived, in
+        #: arrival order.  Listeners only see the edge (not the signature),
+        #: so a resumption closes the edge's oldest open suspension — the
+        #: conservative reading for the "oldest suspension age" the health
+        #: monitor derives from the snapshot.
+        self.open_suspensions: Dict[Tuple[int, int], List[float]] = {}
 
     # feedback kinds that count as suspensions (mirrors the serving layer)
     _SUSPENSION_KINDS = ("suspend", "mark")
 
     def _count_feedback(self, producer, consumer, kind, feedback=None) -> None:
+        edge = (id(producer), id(consumer))
         if kind in self._SUSPENSION_KINDS:
             self.suspensions_since_ack += 1
+            self.open_suspensions.setdefault(edge, []).append(self.clock.watermark)
         else:
             self.resumptions_since_ack += 1
+            opened = self.open_suspensions.get(edge)
+            if opened:
+                opened.pop(0)
+                if not opened:
+                    del self.open_suspensions[edge]
 
     def _watch_context(self, context) -> None:
         if id(context) in self._counted_contexts:
@@ -597,6 +641,20 @@ class _WorkerState:
 
     def snapshot(self) -> Dict[str, object]:
         shard = self.shard
+        watermark = self.clock.watermark
+        # Starvation from the scheduler's indexed ready set when it has one;
+        # select-strategy shards fall back to scanning the queue templates.
+        ages = shard.scheduler.starvation_ages(watermark)
+        if not ages:
+            ages = {
+                item.order: max(0.0, watermark - item.head_ts)
+                for item in shard._ready_meta
+                if len(item.queue)
+            }
+        oldest_suspended = min(
+            (opened[0] for opened in self.open_suspensions.values() if opened),
+            default=None,
+        )
         return {
             "queue_count": shard.queue_count,
             "queue_depth": shard.queue_depth,
@@ -608,6 +666,11 @@ class _WorkerState:
             "cost_counters": shard.cost.snapshot(),
             "scheduler_stats": dict(shard.scheduler.stats()),
             "metrics": shard.metrics(),
+            "watermark": watermark,
+            "ready_queues": len(ages),
+            "max_starvation_age": max(ages.values(), default=0.0),
+            "mns_open": sum(len(opened) for opened in self.open_suspensions.values()),
+            "mns_oldest_ts": oldest_suspended,
         }
 
     def take_trace(self):
@@ -667,6 +730,16 @@ def _worker_main(spec: _ShardSpec, conn) -> None:  # pragma: no cover - child
                 conn.send(("retired", msg[1], consumes, state.snapshot()))
             elif op == "tracer":
                 state.attach_tracer(msg[1])
+            elif op == "stall":
+                # Chaos/test hook (`ProcessBackend.inject_stall`): wedge the
+                # worker inside a command for msg[1] seconds — the process
+                # stays alive but stops polling the pipe, so its acks stop
+                # and its watermark freezes, exactly the failure mode the
+                # stall watchdog must distinguish from a dead worker.  The
+                # pseudo-event the parent counted in flight is acknowledged
+                # after the wedge so the accounting reconverges.
+                time.sleep(float(msg[1]))
+                state.events_since_ack += 1
             elif op == "close":
                 break
             else:
@@ -710,6 +783,13 @@ class _WorkerHandle:
         self.shard_id = shard_id
         self.cond = threading.Condition()
         self.in_flight = 0
+        #: Events the worker has acknowledged over its lifetime, plus the
+        #: wall-clock instant of its last message of any kind.  Together
+        #: with ``in_flight`` these are the stall watchdog's heartbeat: a
+        #: wedged-but-alive worker holds ``in_flight > 0`` while
+        #: ``last_progress`` stops advancing.
+        self.acked_events = 0
+        self.last_progress = time.monotonic()
         self.snapshot: Dict[str, object] = _empty_snapshot()
         self.alive = False
         self.graceful_exit: Optional[str] = None
@@ -738,6 +818,8 @@ class _WorkerHandle:
         self.error = None
         self.ready = False
         self.in_flight = 0
+        self.acked_events = 0
+        self.last_progress = time.monotonic()
         self.reader = threading.Thread(
             target=self._read_loop, name=f"shard-{self.shard_id}-reader", daemon=True
         )
@@ -777,6 +859,10 @@ class _WorkerHandle:
                 self.cond.notify_all()
 
     def _on_message(self, msg: Tuple) -> bool:
+        # Any message at all is proof of life for the stall watchdog: a
+        # wedged worker is one that holds in_flight > 0 while this stamp
+        # stops advancing.  Plain float store; readers tolerate staleness.
+        self.last_progress = time.monotonic()
         op = msg[0]
         if op == "ack":
             _, n_events, results, susp, res = msg
@@ -785,6 +871,7 @@ class _WorkerHandle:
                 self.backend.fire_feedback_deltas(self.shard_id, susp, res)
             with self.cond:
                 self.in_flight = max(0, self.in_flight - n_events)
+                self.acked_events += n_events
                 self.cond.notify_all()
             return True
         if op == "flushed":
@@ -1060,6 +1147,18 @@ class ProcessBackend:
 
     def worker_restarts(self) -> Dict[int, int]:
         return dict(self._restarts)
+
+    def inject_stall(self, shard_id: int, seconds: float) -> None:
+        """Chaos/test hook: wedge one worker for ``seconds`` of wall time.
+
+        The worker stays alive but sleeps inside its command loop, so it
+        stops polling the pipe and its watermark freezes — the exact
+        alive-but-stuck failure the stall watchdog exists to name.  The
+        command is accounted as one in-flight event so the parent can see
+        work is outstanding; the worker acknowledges it once the wedge
+        clears, restoring the accounting.  Never used on the serving path.
+        """
+        self.handles[shard_id].send(("stall", float(seconds)), events=1)
 
     def add_feedback_delta_listener(
         self, listener: Callable[[int, int, int], None]

@@ -548,6 +548,66 @@ class ShardedEngine:
         """
         self._backend.add_feedback_delta_listener(listener)
 
+    # -- health introspection ---------------------------------------------------
+
+    def worker_health(self) -> Dict[int, Dict[str, object]]:
+        """Per-shard heartbeat and progress facts for the health monitor.
+
+        Uniform across drain modes.  In process mode each entry is the
+        proxy's :meth:`~repro.multi.backend.ProcessShardProxy.health_stats`
+        — live parent-side heartbeat (``last_progress``, ``in_flight``)
+        plus the worker's last shipped snapshot.  On the local backends the
+        facts are computed directly from the live :class:`ShardEngine`
+        (reads only; safe to sample while thread workers drain, at the cost
+        of momentarily stale ages).  ``last_progress``/``mns_oldest_ts`` are
+        ``None`` where the concept does not apply locally — an inline shard
+        cannot stall independently of its caller, and local MNS ages are
+        tracked by the monitor's own feedback listeners.
+        """
+        stats: Dict[int, Dict[str, object]] = {}
+        for shard_id, shard in enumerate(self.shards):
+            health = getattr(shard, "health_stats", None)
+            if health is not None:
+                stats[shard_id] = health()
+                continue
+            watermark = self.clock.watermark
+            ages = shard.scheduler.starvation_ages(watermark)
+            if not ages:
+                # Select-strategy schedulers keep no indexed ready set;
+                # scan the shard's queue templates instead.
+                ages = {
+                    item.order: max(0.0, watermark - item.head_ts)
+                    for item in shard._ready_meta
+                    if len(item.queue)
+                }
+            stats[shard_id] = {
+                "alive": True,
+                "in_flight": 0,
+                "acked_events": shard.events_processed,
+                "last_progress": None,
+                "watermark": watermark,
+                "ready_queues": len(ages),
+                "max_starvation_age": max(ages.values(), default=0.0),
+                "mns_open": None,
+                "mns_oldest_ts": None,
+            }
+        return stats
+
+    def inject_worker_stall(self, shard_id: int, seconds: float) -> None:
+        """Wedge one process worker for ``seconds`` (chaos/test hook).
+
+        See :meth:`~repro.multi.backend.ProcessBackend.inject_stall`; only
+        meaningful in process mode, where a worker can genuinely hang
+        independently of the submitting thread.
+        """
+        inject = getattr(self._backend, "inject_stall", None)
+        if inject is None:
+            raise RuntimeError(
+                f"drain_mode={self.drain_mode!r} has no stallable workers; "
+                "stall injection is a process-mode operation"
+            )
+        inject(shard_id, seconds)
+
     # -- results and reporting ------------------------------------------------
 
     def runtime_for(self, query_id: str) -> PlanRuntime:

@@ -29,7 +29,7 @@ thread only, so no locking is needed inside the policies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Dict, Iterable, Sequence, Tuple
 
 from repro.operators.base import Operator
 from repro.operators.queues import InterOperatorQueue
@@ -159,6 +159,41 @@ class OperatorScheduler:
         snake_case names mapping to numbers.
         """
         return {}
+
+    # -- health introspection (read-only, off the hot path) -----------------------
+
+    def ready_items(self) -> Tuple[ReadyInput, ...]:
+        """The ready inputs currently registered with the indexed interface.
+
+        Every shipped policy keeps an ``order -> ReadyInput`` map of its
+        ready set, which this surfaces for observers (the health monitor,
+        diagnostic bundles).  Pull-only: nothing here runs per tuple.  A
+        scheduler driven through the legacy select path has no indexed
+        state and reports an empty tuple — callers fall back to scanning
+        the engine's queue templates directly.
+        """
+        ready = getattr(self, "_ready", None)
+        if not ready:
+            return ()
+        return tuple(ready.values())
+
+    def starvation_ages(self, watermark: float) -> Dict[int, float]:
+        """Virtual seconds each ready queue's head tuple has been waiting.
+
+        Starvation age is ``watermark - head_ts`` clamped at zero: how far
+        the domain's newest observed timestamp has run ahead of the oldest
+        tuple still queued at each ready input, keyed by the input's stable
+        :attr:`ReadyInput.order`.  Zero across the board means the domain
+        is quiescent (every queue drained); a persistently large age names
+        the queue a policy is starving.
+        """
+        ages: Dict[int, float] = {}
+        for item in self.ready_items():
+            head = item.head_ts
+            if head != float("inf"):
+                age = watermark - head
+                ages[item.order] = age if age > 0.0 else 0.0
+        return ages
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -170,6 +170,61 @@ METRIC_DOC: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
     "trace_mns_spans_open": (
         "gauge", (), "MNS suspension spans currently open (suspended, not yet resumed)."
     ),
+    # -- health-monitor bridge (repro.health): registered always, populated
+    # -- once a HealthMonitor is attached (attach_health); see docs/HEALTH.md.
+    "health_monitor_attached": (
+        "gauge", (), "1 while a HealthMonitor is attached to this server, else 0."
+    ),
+    "health_query_lag": (
+        "gauge", ("query",),
+        "Watermark lag per query: ingestion watermark minus the query's last "
+        "emitted result timestamp (virtual seconds; queries that never emitted "
+        "report the full watermark).",
+    ),
+    "health_query_staleness_seconds": (
+        "gauge", ("query",),
+        "Wall-clock seconds since each query last emitted a result (0 until "
+        "the first result).",
+    ),
+    "health_query_results_total": (
+        "gauge", ("query",), "Results emitted per query since the server started."
+    ),
+    "health_query_slo_state": (
+        "gauge", ("query",),
+        "SLO state machine per query with a QuerySLO: 0=ok, 1=warning, 2=breach.",
+    ),
+    "health_slo_breaches_total": (
+        "gauge", ("query",),
+        "Transitions into SLO breach per query (a sustained violation counts once).",
+    ),
+    "health_shard_ready_queues": (
+        "gauge", ("shard",), "Ready (non-empty) inter-operator queues per shard."
+    ),
+    "health_shard_starvation_age": (
+        "gauge", ("shard",),
+        "Max scheduler starvation age per shard: virtual seconds the oldest "
+        "ready queue head trails the shard watermark (0 when quiescent).",
+    ),
+    "health_shard_mns_open": (
+        "gauge", ("shard",),
+        "Open MNS suspensions per shard (producers suspended awaiting resumption).",
+    ),
+    "health_shard_mns_oldest_age": (
+        "gauge", ("shard",),
+        "Virtual seconds the oldest open MNS suspension has been waiting, per shard.",
+    ),
+    "health_worker_stalled": (
+        "gauge", ("shard",),
+        "1 while the stall watchdog holds a verdict (worker alive but not "
+        "advancing, or dead) for the shard, else 0.",
+    ),
+    "health_worker_stalls_total": (
+        "gauge", ("shard",),
+        "Watchdog verdict transitions per shard (stall or death detected).",
+    ),
+    "health_bundles_written_total": (
+        "gauge", (), "Diagnostic bundles written by the attached monitor."
+    ),
 }
 
 
@@ -272,6 +327,16 @@ class StreamServer:
         #: Newest accepted event timestamp — the serving-side watermark the
         #: latency histogram measures emission against.
         self.ingest_watermark = float("-inf")
+        #: Per-query progress cells ``[last_result_ts, results,
+        #: wall_clock_of_last_result]`` maintained by the result sinks; the
+        #: raw material of the health monitor's lag table.  Kept
+        #: unconditionally: two list stores and a perf_counter read per
+        #: result is noise next to the collector work the sink already does.
+        self.query_progress: Dict[str, list] = {}
+        #: The attached :class:`~repro.health.HealthMonitor`, if any; the
+        #: ``health_*`` families are registered either way and read
+        #: empty/zero without one.
+        self._health = None
         self._closed = False
         self._register_metrics()
         self._instrument_results()
@@ -497,6 +562,64 @@ class StreamServer:
             if self.tracer is not None
             else 0.0,
         )
+        registry.gauge(
+            "health_monitor_attached",
+            METRIC_DOC["health_monitor_attached"][2],
+            callback=lambda: 1.0 if self._health is not None else 0.0,
+        )
+        registry.gauge(
+            "health_bundles_written_total",
+            METRIC_DOC["health_bundles_written_total"][2],
+            callback=lambda: self._health_stat("health_bundles_written_total", 0.0),
+        )
+        for family in (
+            "health_query_lag",
+            "health_query_staleness_seconds",
+            "health_query_results_total",
+            "health_query_slo_state",
+            "health_slo_breaches_total",
+        ):
+            registry.gauge(
+                family,
+                METRIC_DOC[family][2],
+                ("query",),
+                callback=lambda name=family: self._health_stat(name, {}),
+            )
+        for family in (
+            "health_shard_ready_queues",
+            "health_shard_starvation_age",
+            "health_shard_mns_open",
+            "health_shard_mns_oldest_age",
+            "health_worker_stalled",
+            "health_worker_stalls_total",
+        ):
+            registry.gauge(
+                family,
+                METRIC_DOC[family][2],
+                ("shard",),
+                callback=lambda name=family: self._health_stat(name, {}),
+            )
+
+    def _health_stat(self, family: str, default):
+        """Delegate one ``health_*`` family to the attached monitor.
+
+        Without a monitor the labeled families render as empty (header
+        only) and the scalars read zero — registration is unconditional so
+        the METRIC_DOC <-> registry sync tests cover the whole catalog.
+        """
+        if self._health is None:
+            return default
+        return self._health.telemetry_stat(family)
+
+    def attach_health(self, monitor) -> None:
+        """Attach a :class:`~repro.health.HealthMonitor` (one at a time).
+
+        Called by the monitor's constructor; the ``health_*`` gauge
+        callbacks start delegating to it immediately.  :meth:`close` stops
+        the monitor (its watchdog thread and feedback listeners) with the
+        server.
+        """
+        self._health = monitor
 
     def _trace_stat(self, key: str) -> float:
         if self.tracer is None:
@@ -539,17 +662,24 @@ class StreamServer:
         uninstrumented run; the wrapper only *observes*.
         """
         for host, collector in self._runtime_sinks():
-            host.set_result_sink(self._make_sink(collector.add))
+            registered = getattr(host, "registered", None)
+            query_id = registered.query_id if registered is not None else "plan"
+            host.set_result_sink(self._make_sink(collector.add, query_id))
 
-    def _make_sink(self, inner_add):
+    def _make_sink(self, inner_add, query_id: str):
         observe = self.latency.observe
         results_inc = self._results.inc
+        now = time.perf_counter
+        cell = self.query_progress.setdefault(query_id, [None, 0, None])
 
         def sink(tup) -> None:
             inner_add(tup)
             results_inc()
             lag = self.ingest_watermark - tup.ts
             observe(lag if lag > 0.0 else 0.0)
+            cell[0] = tup.ts
+            cell[1] += 1
+            cell[2] = now()
 
         return sink
 
@@ -729,6 +859,8 @@ class StreamServer:
             self.flush()
         finally:
             self._closed = True
+            if self._health is not None:
+                self._health.close()
             close = getattr(self.engine, "close", None)
             if close is not None:
                 close()

@@ -516,6 +516,19 @@ class Tracer:
             "sample_rate": self.sample_rate,
         }
 
+    def ring_tail(self, limit: int = 256) -> List[dict]:
+        """The newest ``limit`` retained spans, oldest first.
+
+        The flight-recorder read used by diagnostic bundles
+        (:mod:`repro.health.bundle`): spans are already plain Chrome
+        trace-event dicts, so the tail drops straight into a JSON artifact
+        without transformation.  Reading does not consume the ring.
+        """
+        if limit <= 0:
+            return []
+        spans = self.ring.snapshot()
+        return spans[-limit:]
+
     def chrome_trace(self) -> dict:
         """The retained spans as a Chrome trace-event JSON object.
 

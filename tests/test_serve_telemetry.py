@@ -13,6 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro.engine import run_workload
+from repro.health import HealthMonitor, QuerySLO
 from repro.multi import QueryRegistry, ShardedEngine, generate_multi_query_workload
 from repro.plans.builder import STRATEGY_JIT, STRATEGY_REF
 from repro.serve import (
@@ -384,6 +385,111 @@ class TestDocumentedMetricsExist:
         server, _ = served
         undocumented = set(server.telemetry.names) - set(METRIC_DOC)
         assert not undocumented, f"registered but undocumented: {sorted(undocumented)}"
+
+
+class TestHealthFamilies:
+    """Exposition contract of the ``health_*`` bridge (repro.health)."""
+
+    QUERY_FAMILIES = (
+        "health_query_lag",
+        "health_query_staleness_seconds",
+        "health_query_results_total",
+        "health_query_slo_state",
+        "health_slo_breaches_total",
+    )
+    SHARD_FAMILIES = (
+        "health_shard_ready_queues",
+        "health_shard_starvation_age",
+        "health_shard_mns_open",
+        "health_shard_mns_oldest_age",
+        "health_worker_stalled",
+        "health_worker_stalls_total",
+    )
+
+    @pytest.fixture(scope="class")
+    def monitored(self):
+        """A served run with a HealthMonitor attached before ingestion."""
+        workload = _workload()
+        engine = ShardedEngine(_registry(workload), n_shards=2, scheduler="jit_aware")
+        server = StreamServer(engine, capacity=32, policy=OverloadPolicy.BLOCK)
+        monitor = HealthMonitor(
+            server, slos={"q0": QuerySLO(max_lag=1e9), "q1": QuerySLO(min_events_per_sec=1e9)}
+        )
+        for event in workload.events():
+            server.submit(event)
+        server.flush()
+        monitor.check()
+        return server, monitor, parse_exposition(server.exposition())
+
+    def test_families_empty_without_monitor(self, served):
+        """Registered always; without a monitor the labeled families render
+        header-only and the scalars read zero."""
+        server, parsed = served
+        assert parsed["health_monitor_attached"][()] == 0.0
+        assert parsed["health_bundles_written_total"][()] == 0.0
+        for family in self.QUERY_FAMILIES + self.SHARD_FAMILIES:
+            assert family in server.telemetry
+            assert parsed.get(family, {}) == {}
+
+    def test_every_family_exists_in_range(self, monitored):
+        server, _monitor, parsed = monitored
+        n_queries = len(server.engine._runtimes)
+        assert parsed["health_monitor_attached"][()] == 1.0
+        assert parsed["health_bundles_written_total"][()] == 0.0
+        ranges = {
+            "health_query_lag": (0.0, float("inf"), n_queries),
+            "health_query_staleness_seconds": (0.0, float("inf"), n_queries),
+            "health_query_results_total": (1.0, float("inf"), n_queries),
+            "health_query_slo_state": (0.0, 2.0, 2),  # only SLO'd queries
+            "health_slo_breaches_total": (0.0, float("inf"), 2),
+            "health_shard_ready_queues": (0.0, 0.0, 2),  # flushed → quiescent
+            "health_shard_starvation_age": (0.0, 0.0, 2),
+            "health_shard_mns_open": (0.0, float("inf"), 2),
+            "health_shard_mns_oldest_age": (0.0, float("inf"), 2),
+            "health_worker_stalled": (0.0, 0.0, 2),
+            "health_worker_stalls_total": (0.0, 0.0, 2),
+        }
+        for family, (low, high, n_series) in ranges.items():
+            series = parsed[family]
+            assert len(series) == n_series, f"{family}: {series}"
+            for labels, value in series.items():
+                assert low <= value <= high, f"{family}{labels} = {value}"
+
+    def test_slo_states_render_the_machine(self, monitored):
+        _server, _monitor, parsed = monitored
+        # q0's bound is unreachable → ok; q1's rate floor is unmeetable → breach.
+        states = {labels[0][1]: value for labels, value in parsed["health_query_slo_state"].items()}
+        assert states == {"q0": 0.0, "q1": 2.0}
+        breaches = {labels[0][1]: value for labels, value in parsed["health_slo_breaches_total"].items()}
+        assert breaches["q1"] >= 1.0
+
+    def test_local_mns_open_matches_feedback_counters(self, monitored):
+        """The monitor's edge-tracked open suspensions must reconcile with
+        the serve-layer suspension/resumption counters, per shard."""
+        _server, _monitor, parsed = monitored
+        for shard in ("0", "1"):
+            suspended = parsed["serve_suspensions_total"].get((("shard", shard),), 0.0)
+            resumed = parsed["serve_resumptions_total"].get((("shard", shard),), 0.0)
+            open_now = parsed["health_shard_mns_open"][(("shard", shard),)]
+            assert open_now == suspended - resumed
+
+    def test_query_label_escaping_round_trips(self):
+        """Awkward query ids must survive the render → parse round trip."""
+        awkward = 'q"0\\weird\nid'
+        workload = _workload()
+        registry = QueryRegistry()
+        registry.register(workload.queries()[0], query_id=awkward)
+        engine = ShardedEngine(registry, n_shards=1)
+        server = StreamServer(engine, capacity=32, policy=OverloadPolicy.BLOCK)
+        HealthMonitor(server)
+        for event in workload.events()[:200]:
+            server.submit(event)
+        server.flush()
+        parsed = parse_exposition(server.exposition())
+        key = (("query", awkward),)
+        assert key in parsed["health_query_lag"]
+        assert parsed["health_query_results_total"][key] >= 0.0
+        server.close()
 
 
 class TestInstrumentationEquivalence:
